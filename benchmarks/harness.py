@@ -1,0 +1,36 @@
+"""Shared utilities for the experiment benchmarks (E1–E10).
+
+Each benchmark module regenerates one table or figure from DESIGN.md's
+experiment index.  Results are printed to stdout *and* written under
+``benchmarks/results/`` so ``pytest benchmarks/ --benchmark-only | tee``
+captures them and EXPERIMENTS.md can cite them verbatim.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def publish(artifact_id: str, table) -> str:
+    """Render ``table``, print it, and persist it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = table.render()
+    path = os.path.join(RESULTS_DIR, f"{artifact_id}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print()
+    print(text)
+    return text
+
+
+def seed_arp(network) -> None:
+    """Static-ARP every host pair so experiments measure forwarding,
+    not ARP resolution."""
+    hosts = list(network.hosts.values())
+    for a in hosts:
+        for b in hosts:
+            if a is not b:
+                a.add_static_arp(b.ip, b.mac)
+

@@ -1,0 +1,85 @@
+"""Ablation A3 — Reliable-transfer cost vs path loss rate.
+
+The link model's loss knob meets the go-back-N transport: a fixed
+200 KB transfer crosses a single switch while the path loss rate sweeps
+0 → 30 %.
+
+Expected shape: goodput decays faster than (1 - loss) — go-back-N
+throws away the whole in-flight window on a gap, so each lost packet
+costs up to ``window`` retransmissions plus a timeout stall.  The
+retransmission ratio grows superlinearly in the loss rate.  (This is
+why real transports moved to selective repeat; the ablation quantifies
+what that buys.)
+"""
+
+import pytest
+
+from repro.analysis import Series
+from repro.dataplane import FlowEntry, Match, Output, PORT_FLOOD
+from repro.netem import Network, Topology
+from repro.netem.reliable import ReliableReceiver, ReliableSender
+
+from harness import publish
+
+TRANSFER = 200_000  # bytes
+LOSSES = (0.0, 0.05, 0.15, 0.30)
+
+
+def run_loss(loss):
+    net = Network(Topology.single(2, bandwidth_bps=20e6,
+                                  loss_rate=loss),
+                  miss_behaviour="drop", seed=7)
+    net.switch("s1").install_flow(
+        FlowEntry(Match(), [Output(PORT_FLOOD)], priority=0))
+    h1, h2 = net.host("h1"), net.host("h2")
+    h1.add_static_arp(h2.ip, h2.mac)
+    h2.add_static_arp(h1.ip, h1.mac)
+    ReliableReceiver(h2, 7000)
+    sender = ReliableSender(h1, h2.ip, 7000, b"\xaa" * TRANSFER,
+                            window=8, timeout=0.05, mss=1000)
+    net.run(300.0)
+    assert sender.complete, f"transfer died at loss={loss}"
+    return {
+        "time_s": sender.transfer_time,
+        "goodput_mbps": sender.goodput_bps / 1e6,
+        "retx_ratio": sender.retransmissions / sender.total,
+    }
+
+
+def run_experiment():
+    series = Series(
+        "A3 — go-back-N 200 KB transfer vs path loss "
+        "(20 Mb/s link, window 8)",
+        "loss_rate",
+        ["transfer_s", "goodput_mbps", "retx_per_segment"],
+    )
+    data = {}
+    for loss in LOSSES:
+        out = run_loss(loss)
+        data[loss] = out
+        series.add_point(loss, out["time_s"], out["goodput_mbps"],
+                         out["retx_ratio"])
+    return series, data
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_experiment()
+
+
+def test_a3_loss_recovery(results, benchmark):
+    series, data = results
+    publish("a3_loss_recovery", series)
+    benchmark.pedantic(lambda: run_loss(0.05), rounds=1, iterations=1)
+    # Goodput decays monotonically with loss...
+    goodputs = [data[l]["goodput_mbps"] for l in LOSSES]
+    assert goodputs == sorted(goodputs, reverse=True)
+    # ...and far faster than the raw delivery ratio would suggest:
+    # at 30% loss, goodput is under half of (1 - 0.3) x lossless.
+    assert data[0.30]["goodput_mbps"] < 0.5 * 0.7 * data[0.0]["goodput_mbps"]
+    # Retransmission amplification: each lost segment drags neighbours
+    # with it, so retx/segment exceeds the loss rate itself.
+    assert data[0.15]["retx_ratio"] > 0.15
+    assert data[0.30]["retx_ratio"] > data[0.15]["retx_ratio"]
+    # Lossless pays nothing.
+    assert data[0.0]["retx_ratio"] == 0.0

@@ -1,0 +1,123 @@
+"""E3 / Table 2 — Controller packet-in capacity and queueing delay.
+
+Question: how does a single controller behave as the packet-in load
+approaches its service capacity, and does switch fan-in matter?
+
+Workload: ``k`` switches (1–16) each offering a Poisson-ish stream of
+packet-ins for one second; the controller models 50 µs of CPU per
+event (20 k events/s capacity).  Offered load is swept over 0.5×,
+0.9×, and 1.5× capacity.
+
+Expected shape: below capacity the controller keeps up and delay stays
+near zero; at 1.5× capacity the queue grows without bound and the mean
+delay explodes — classic M/D/1 behaviour.  Fan-in (same load from more
+switches) changes nothing: the bottleneck is the CPU.
+"""
+
+import pytest
+
+from repro.analysis import Table, mean
+from repro.controller import Controller, PacketInEvent
+from repro.dataplane import Datapath
+from repro.packet import Ethernet, IPv4, UDP
+from repro.sim import Simulator
+from repro.southbound import ControlChannel, SwitchAgent
+
+from harness import publish
+
+SERVICE_TIME = 50e-6  # 50 µs per packet-in => 20k/s capacity
+CAPACITY = 1.0 / SERVICE_TIME
+DURATION = 1.0
+
+
+def drive(num_switches, offered_rate):
+    """Offer ``offered_rate`` packet-ins/s spread over the switches."""
+    sim = Simulator(seed=1)
+    controller = Controller(sim, packet_in_service_time=SERVICE_TIME)
+    datapaths = []
+    for i in range(num_switches):
+        dp = Datapath(i + 1, sim)
+        dp.add_port(1)
+        channel = ControlChannel(sim, latency=0.0002)
+        SwitchAgent(dp, channel)
+        controller.accept_channel(channel)
+        channel.connect()
+        datapaths.append(dp)
+    # A sink app so events are consumed.
+    handled = []
+    controller.subscribe(PacketInEvent, lambda ev: handled.append(1))
+    sim.run_until_idle()
+
+    interval = num_switches / offered_rate
+    rng = sim.fork_rng()
+
+    def feed(index):
+        dp = datapaths[index % num_switches]
+        pkt = (Ethernet(dst="00:00:00:00:00:02",
+                        src="00:00:00:00:00:01")
+               / IPv4(src="10.0.0.1", dst="10.0.0.2")
+               / UDP(src_port=index % 60000, dst_port=9) / b"x")
+        dp.inject(pkt, 1)
+
+    total = int(offered_rate * DURATION)
+    for index in range(total):
+        sim.schedule(rng.uniform(0, DURATION), feed, index)
+    sim.run(until=DURATION)
+    in_flight_delay = controller.packet_in_delays
+    handled_rate = controller.packet_ins_handled / DURATION
+    backlog = total - controller.packet_ins_handled
+    return {
+        "handled_per_s": handled_rate,
+        "mean_delay_ms": mean(in_flight_delay) * 1e3
+        if in_flight_delay else 0.0,
+        "backlog": backlog,
+    }
+
+
+def run_experiment():
+    table = Table(
+        "E3 / Table 2 — controller capacity (service 50us => 20k/s)",
+        ["switches", "offered_per_s", "handled_per_s", "mean_delay_ms",
+         "backlog_at_1s"],
+    )
+    data = {}
+    for num_switches in (1, 4, 16):
+        for load_factor in (0.5, 0.9, 1.5):
+            offered = int(CAPACITY * load_factor)
+            out = drive(num_switches, offered)
+            data[(num_switches, load_factor)] = out
+            table.add_row(num_switches, offered,
+                          out["handled_per_s"], out["mean_delay_ms"],
+                          out["backlog"])
+    return table, data
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_experiment()
+
+
+def test_e3_controller_throughput(results, benchmark):
+    table, data = results
+    publish("e3_table2", table)
+    benchmark.pedantic(lambda: drive(1, int(CAPACITY * 0.5)),
+                       rounds=1, iterations=1)
+    for num_switches in (1, 4, 16):
+        under = data[(num_switches, 0.5)]
+        near = data[(num_switches, 0.9)]
+        over = data[(num_switches, 1.5)]
+        # Under capacity: negligible queueing, no backlog to speak of.
+        assert under["mean_delay_ms"] < 1.0
+        assert under["backlog"] < CAPACITY * 0.02
+        # Over capacity: the controller saturates at ~20k/s and the
+        # queue (and delay) blow up.
+        assert over["handled_per_s"] == pytest.approx(CAPACITY, rel=0.05)
+        assert over["backlog"] > CAPACITY * 0.3
+        assert over["mean_delay_ms"] > 20 * under["mean_delay_ms"] + 1
+        # Delay rises monotonically with load.
+        assert under["mean_delay_ms"] <= near["mean_delay_ms"] \
+            <= over["mean_delay_ms"]
+    # Fan-in does not change the saturation point.
+    assert data[(1, 1.5)]["handled_per_s"] == pytest.approx(
+        data[(16, 1.5)]["handled_per_s"], rel=0.02
+    )

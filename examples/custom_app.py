@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Writing your own controller app: a flow-top monitor + port knocker.
+
+Demonstrates the app API surface:
+
+* subclass :class:`repro.controller.App` and override the ``on_*`` hooks,
+* subscribe to bus events and poll switches for statistics,
+* program switches from app logic (the port knocker opens a firewall
+  pinhole only after the secret knock sequence).
+
+Run:  python examples/custom_app.py
+"""
+
+from repro import Topology, ZenPlatform
+from repro.apps import Firewall, ProactiveRouter
+from repro.controller import App
+from repro.dataplane import Match
+from repro.packet import IPv4, UDP
+from repro.southbound import StatsKind
+
+
+class FlowTop(App):
+    """Periodically prints the busiest flows in the network (like
+    `top`, but for flow entries)."""
+
+    name = "flowtop"
+
+    def __init__(self, interval: float = 2.0, top_n: int = 5) -> None:
+        super().__init__()
+        self.interval = interval
+        self.top_n = top_n
+        self.samples = []
+
+    def start(self, controller) -> None:
+        super().start(controller)
+        controller.sim.call_every(self.interval, self._poll)
+
+    def _poll(self) -> None:
+        for switch in self.controller.switches.values():
+            switch.request_stats(
+                StatsKind.FLOW,
+                lambda reply, dpid=switch.dpid: self._report(dpid, reply),
+            )
+
+    def _report(self, dpid, reply) -> None:
+        ranked = sorted(reply.entries, key=lambda e: -e.byte_count)
+        for entry in ranked[: self.top_n]:
+            if entry.byte_count:
+                self.samples.append((self.sim.now, dpid, entry))
+
+
+class PortKnocker(App):
+    """Opens a firewall pinhole to a protected port after the secret
+    three-packet knock sequence."""
+
+    name = "port-knocker"
+    KNOCK_SEQUENCE = (7001, 8002, 9003)
+
+    def __init__(self, firewall: Firewall, protected_ip,
+                 protected_port: int) -> None:
+        super().__init__()
+        self.firewall = firewall
+        self.protected_ip = str(protected_ip)
+        self.protected_port = protected_port
+        self._progress = {}
+        self.opened_for = []
+
+    def on_switch_enter(self, switch) -> None:
+        # Knock packets must reach the controller: punt (and swallow)
+        # anything aimed at a knock port of the protected host.
+        from repro.dataplane import Output, PORT_CONTROLLER
+
+        for port in self.KNOCK_SEQUENCE:
+            switch.add_flow(
+                Match(eth_type=0x0800, ip_dst=self.protected_ip,
+                      l4_dst=port),
+                [Output(PORT_CONTROLLER)],
+                priority=6000,
+                table_id=self.firewall.table_id,
+            )
+
+    def on_packet_in(self, event) -> None:
+        ip = event.packet.get(IPv4)
+        udp = event.packet.get(UDP)
+        if ip is None or udp is None:
+            return
+        if str(ip.dst) != self.protected_ip:
+            return
+        client = str(ip.src)
+        stage = self._progress.get(client, 0)
+        if udp.dst_port == self.KNOCK_SEQUENCE[stage]:
+            stage += 1
+            self._progress[client] = stage
+            if stage == len(self.KNOCK_SEQUENCE):
+                self._open(client)
+        elif udp.dst_port in self.KNOCK_SEQUENCE:
+            self._progress[client] = 0  # wrong order: start over
+
+    def _open(self, client: str) -> None:
+        self.firewall.add_rule(
+            Match(eth_type=0x0800, ip_src=client,
+                  ip_dst=self.protected_ip,
+                  l4_dst=self.protected_port),
+            allow=True, priority=5000,
+        )
+        self.opened_for.append(client)
+        print(f"  [knocker] pinhole opened for {client} -> "
+              f"{self.protected_ip}:{self.protected_port}")
+
+
+def main() -> None:
+    platform = ZenPlatform(
+        Topology.single(3, bandwidth_bps=1e9), profile="bare",
+        num_tables=3,
+    )
+    firewall = platform.add_app(Firewall(table_id=0, next_table=1))
+    platform.router = platform.add_app(ProactiveRouter(table_id=1))
+    flowtop = platform.add_app(FlowTop())
+    platform.start()
+
+    h1, h2, server = (platform.host(n) for n in ("h1", "h2", "h3"))
+    for a in (h1, h2, server):
+        for b in (h1, h2, server):
+            if a is not b:
+                a.add_static_arp(b.ip, b.mac)
+    for h in (h1, h2, server):
+        h.send_udp(h1.ip if h is not h1 else h2.ip, 7, 7, b"w")
+    platform.run(2.0)
+
+    # Protect the server's port 2222 behind the knocker.
+    firewall.deny(priority=1000, eth_type=0x0800,
+                  ip_dst=str(server.ip), l4_dst=2222)
+    knocker = platform.add_app(PortKnocker(firewall, server.ip, 2222))
+    served = []
+    server.bind_udp(2222, lambda pkt, host: served.append(pkt))
+    platform.run(0.5)
+
+    print("1. h1 tries the protected port without knocking:")
+    h1.send_udp(server.ip, 40000, 2222, b"let me in")
+    platform.run(1.0)
+    print(f"   server saw {len(served)} packets (expected 0)")
+
+    print("2. h1 performs the secret knock 7001 -> 8002 -> 9003:")
+    for i, port in enumerate(PortKnocker.KNOCK_SEQUENCE):
+        platform.sim.schedule(0.2 * i, h1.send_udp, server.ip,
+                              40001, port, b"knock")
+    platform.run(2.0)
+
+    print("3. h1 retries the protected port:")
+    h1.send_udp(server.ip, 40000, 2222, b"let me in now")
+    platform.run(1.0)
+    print(f"   server saw {len(served)} packets (expected 1)")
+
+    print("4. h2 (no knock) still cannot get in:")
+    h2.send_udp(server.ip, 41000, 2222, b"me too?")
+    platform.run(1.0)
+    print(f"   server saw {len(served)} packets (still 1)")
+
+    busiest = flowtop.samples[-3:]
+    print(f"\nFlowTop collected {len(flowtop.samples)} samples; last:")
+    for when, dpid, entry in busiest:
+        print(f"  t={when:.1f}s dpid={dpid} {entry}")
+
+
+if __name__ == "__main__":
+    main()

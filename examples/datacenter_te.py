@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Data-centre traffic engineering on a fat-tree (the B4/SWAN story).
+
+Builds a fat-tree k=4 with 10 Mb/s fabric links, offers a hotspot
+traffic matrix that congests naive shortest-path routing, then lets the
+TE app place the same demands with capacity awareness.  Prints the
+per-strategy link utilisation and delivered goodput, plus the paths the
+greedy placer chose.
+
+Run:  python examples/datacenter_te.py
+"""
+
+from repro import Topology, ZenPlatform
+from repro.analysis import Table, mean
+from repro.apps import Demand, TrafficEngineering
+from repro.netem import CBRStream, FlowSink
+
+FABRIC_BW = 10e6
+DEMAND = 3e6
+PAIRS = [
+    ("p0e0h0", "p2e0h0"), ("p0e0h1", "p2e0h1"),
+    ("p0e1h0", "p2e1h0"), ("p0e1h1", "p2e1h1"),
+    ("p1e0h0", "p3e0h0"), ("p1e0h1", "p3e0h1"),
+]
+
+
+def run(strategy: str, verbose: bool = False):
+    platform = ZenPlatform(
+        Topology.fat_tree(4, bandwidth_bps=FABRIC_BW, delay=0.0001,
+                          queue_capacity=30),
+        probe_interval=0.5,
+    ).start(warmup=2.0)
+    hosts = platform.net.hosts
+    for a in hosts.values():
+        for b in hosts.values():
+            if a is not b:
+                a.add_static_arp(b.ip, b.mac)
+    te = platform.add_app(TrafficEngineering(
+        default_capacity_bps=FABRIC_BW, strategy=strategy, k=8,
+        admit_all=True,
+    ))
+    for src, dst in PAIRS:
+        platform.host(src).send_udp(platform.host(dst).ip, 7, 7, b"w")
+        platform.host(dst).send_udp(platform.host(src).ip, 7, 7, b"w")
+    platform.run(1.0)
+    demands = [Demand(platform.host(a).ip, platform.host(b).ip, DEMAND)
+               for a, b in PAIRS]
+    placement = te.install(demands)
+    platform.run(0.5)
+    if verbose:
+        print(f"\nGreedy placement ({strategy}):")
+        for demand, path in placement.paths.items():
+            names = [platform.net.switch_name(d) for d in path or []]
+            print(f"  {demand}: {' -> '.join(names) or 'REJECTED'}")
+
+    sinks = []
+    for src, dst in PAIRS:
+        sinks.append(FlowSink(platform.host(dst), 9000))
+        CBRStream(platform.host(src), platform.host(dst).ip,
+                  rate_bps=DEMAND, packet_size=1000, duration=4.0)
+    platform.net.reset_utilisation_windows()
+    platform.run(3.0)
+    switch_names = set(platform.net.switches)
+    utils = [
+        link.max_utilisation for link in platform.net.links
+        if link.a.node_name in switch_names
+        and link.b.node_name in switch_names
+    ]
+    delivered = sum(s.total_bytes for s in sinks) * 8 / 3.0
+    return {
+        "max_util": max(utils),
+        "mean_util": mean([u for u in utils if u > 0.01]),
+        "goodput_mbps": delivered / 1e6,
+        "offered_mbps": DEMAND * len(PAIRS) / 1e6,
+    }
+
+
+def main() -> None:
+    table = Table(
+        f"Fat-tree k=4 TE comparison: {len(PAIRS)} x {DEMAND / 1e6:.0f} "
+        f"Mb/s hotspot demands over {FABRIC_BW / 1e6:.0f} Mb/s links",
+        ["strategy", "max_link_util", "mean_link_util",
+         "goodput_mbps", "offered_mbps"],
+    )
+    for strategy in ("spf", "ecmp", "greedy"):
+        out = run(strategy, verbose=(strategy == "greedy"))
+        table.add_row(strategy, out["max_util"], out["mean_util"],
+                      out["goodput_mbps"], out["offered_mbps"])
+    print()
+    print(table.render())
+    print("\nReading: spf concentrates the hotspot on one core path and "
+          "drops traffic;\necmp hashes flows apart; greedy fits "
+          "everything under capacity.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""A failover drill: central SDN repair vs the distributed baselines.
+
+Runs the same scripted incident — a 100 pkt/s stream crosses a ring,
+one link on its path is cut — under four control planes, and reports
+how long each blackholed the stream.  This is the interactive version
+of benchmark E4.
+
+Run:  python examples/failover_drill.py
+"""
+
+from repro import Topology, ZenPlatform
+from repro.analysis import Table
+from repro.baselines import LinkStateNetwork, SpanningTreeNetwork
+from repro.netem import CBRStream, Network
+
+
+def ring():
+    return Topology.ring(4, hosts_per_switch=1, bandwidth_bps=1e9)
+
+
+def measure_outage(net, src, dst, fail_fn, duration=12.0):
+    """Stream across the incident; return the receive gap in seconds."""
+    arrivals = []
+    dst.bind_udp(9000, lambda pkt, host: arrivals.append(net.sim.now))
+    CBRStream(src, dst.ip, rate_bps=800_000, packet_size=1000,
+              duration=duration)
+    fail_at = net.sim.now + 2.0
+    net.sim.schedule(2.0, fail_fn)
+    net.run(duration + 2.0)
+    dst.unbind_udp(9000)
+    before = [t for t in arrivals if t < fail_at]
+    after = [t for t in arrivals if t >= fail_at]
+    if not after:
+        return float("inf")
+    assert before, "stream never started"
+    return after[0] - fail_at
+
+
+def seed(net):
+    hosts = list(net.hosts.values())
+    for a in hosts:
+        for b in hosts:
+            if a is not b:
+                a.add_static_arp(b.ip, b.mac)
+
+
+def drill_sdn():
+    platform = ZenPlatform(ring(), control_latency=0.002).start()
+    seed(platform.net)
+    h1, h2 = platform.host("h1"), platform.host("h2")
+    h1.send_udp(h2.ip, 7, 7, b"w")
+    h2.send_udp(h1.ip, 7, 7, b"w")
+    platform.run(1.0)
+    return measure_outage(platform.net, h1, h2,
+                          lambda: platform.fail_link("s1", "s2"))
+
+
+def drill_distributed(kind, carrier=False):
+    net = Network(ring())
+    proto = (LinkStateNetwork(net, carrier_detect=carrier)
+             if kind == "ls" else SpanningTreeNetwork(net))
+    proto.converge(5.0)
+    seed(net)
+    h1, h2 = net.host("h1"), net.host("h2")
+    h1.ping(h2.ip, count=1)
+    net.run(2.0)
+    outage = measure_outage(net, h1, h2,
+                            lambda: net.fail_link("s1", "s2"),
+                            duration=15.0)
+    proto.stop()
+    return outage
+
+
+def main() -> None:
+    table = Table(
+        "Failover drill: outage after cutting s1-s2 on a 4-ring "
+        "(100 pkt/s stream)",
+        ["control plane", "outage_ms", "mechanism"],
+    )
+    table.add_row("SDN central recompute", drill_sdn() * 1e3,
+                  "port-down -> controller -> new rules")
+    table.add_row("link-state (hello timeout)",
+                  drill_distributed("ls") * 1e3,
+                  "1.5 s dead interval -> LSA flood -> SPF")
+    table.add_row("link-state (carrier detect)",
+                  drill_distributed("ls", carrier=True) * 1e3,
+                  "local detection -> local reroute")
+    table.add_row("spanning tree",
+                  drill_distributed("stp") * 1e3,
+                  "re-election + topology-change flush")
+    print()
+    print(table.render())
+    print("\nReading: who repairs, and how they detect, sets the "
+          "outage — not\ncentralised-vs-distributed per se. Local "
+          "repair with carrier detection wins;\ntimeout-based "
+          "detection loses by three orders of magnitude.")
+
+
+if __name__ == "__main__":
+    main()

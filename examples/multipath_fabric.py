@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""ECMP multipath + 1+1 path protection + live packet capture.
+
+Builds a fat-tree k=4 fabric, routes it with SELECT-group ECMP so flows
+hash across all equal-cost paths, attaches taps to the core uplinks to
+*show* the spreading, and protects one critical host pair with
+fast-failover groups — then cuts its primary path mid-stream and prints
+the measured outage.
+
+Run:  python examples/multipath_fabric.py
+"""
+
+from repro import Topology, ZenPlatform
+from repro.apps import MultipathRouter, ProtectedPairs
+from repro.netem import CBRStream, Tap
+from repro.packet import UDP
+
+
+def main() -> None:
+    platform = ZenPlatform(
+        Topology.fat_tree(4, bandwidth_bps=100e6),
+        profile="bare",
+        probe_interval=0.5,
+    )
+    router = platform.add_app(MultipathRouter(max_paths=4))
+    platform.router = router
+    protector = platform.add_app(ProtectedPairs())
+    platform.start(warmup=2.0)
+    net = platform.net
+
+    hosts = list(net.hosts.values())
+    for a in hosts:
+        for b in hosts:
+            if a is not b:
+                a.add_static_arp(b.ip, b.mac)
+    for i, host in enumerate(hosts):
+        host.send_udp(hosts[(i + 1) % len(hosts)].ip, 7, 7, b"w")
+    platform.run(1.0)
+    print(f"ECMP router: {router.rules_installed} dst rules, "
+          f"{router.multipath_rules} multipath, "
+          f"{router.groups_created} shared SELECT groups")
+
+    # --- watch flows hash across the two uplinks of one edge switch --
+    edge = "p0e0"
+    aggs = [n for n in net.topology.neighbours(edge)
+            if n.startswith("p0a")]
+    taps = {agg: Tap(net.link(edge, agg),
+                     predicate=lambda pkt: UDP in pkt
+                     and pkt[UDP].dst_port == 9000)
+            for agg in aggs}
+    src = net.hosts["p0e0h0"]
+    dst = net.hosts["p3e1h1"]
+    for sport in range(32):
+        src.send_udp(dst.ip, 21000 + sport, 9000, b"flow")
+    platform.run(2.0)
+    print(f"\n32 flows {src.name} -> {dst.name} split over "
+          f"{edge}'s uplinks:")
+    for agg, tap in taps.items():
+        print(f"  {edge} -> {agg}: {len(tap)} packets")
+
+    # --- protect a critical pair and drill a failure ------------------
+    pair = protector.protect_ips(src.ip, dst.ip)
+    platform.run(0.5)
+    primary_names = [net.switch_name(d) for d in pair.primary]
+    backup_names = [net.switch_name(d) for d in pair.backup or []]
+    print(f"\nProtected pair {src.name} <-> {dst.name}:")
+    print(f"  primary: {' -> '.join(primary_names)}")
+    print(f"  backup:  {' -> '.join(backup_names)}")
+
+    arrivals = []
+    dst.bind_udp(9100, lambda pkt, host: arrivals.append(
+        platform.sim.now))
+    CBRStream(src, dst.ip, rate_bps=800_000, packet_size=1000,
+              duration=4.0, dst_port=9100)
+    fail_at = platform.sim.now + 1.0
+    a, b = primary_names[0], primary_names[1]
+    platform.sim.schedule(1.0, platform.fail_link, a, b)
+    platform.run(6.0)
+    after = [t for t in arrivals if t >= fail_at]
+    outage_ms = (after[0] - fail_at) * 1e3 if after else float("inf")
+    print(f"\nCut {a}-{b} mid-stream: outage = {outage_ms:.2f} ms "
+          f"(fast-failover, no controller involved)")
+    print(f"Re-protection events: {pair.reprotections} "
+          f"(controller re-established a new backup afterwards)")
+
+
+if __name__ == "__main__":
+    main()

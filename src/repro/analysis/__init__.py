@@ -1,0 +1,22 @@
+"""Measurement, statistics, and artifact rendering."""
+
+from repro.analysis.report import Series, Table
+from repro.analysis.stats import (
+    jain_fairness,
+    mean,
+    median,
+    percentile,
+    stddev,
+    summarise,
+)
+
+__all__ = [
+    "Series",
+    "Table",
+    "jain_fairness",
+    "mean",
+    "median",
+    "percentile",
+    "stddev",
+    "summarise",
+]

@@ -1,0 +1,84 @@
+"""Plain-text tables and series for the experiment harness.
+
+Every benchmark regenerates its paper artifact by printing a
+:class:`Table` (for tables) or :class:`Series` (for figures — one row per
+x value and one column per line on the plot).  Keeping rendering here
+means EXPERIMENTS.md and the benchmark output always agree on format.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = ["Table", "Series"]
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(value: Cell) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+class Table:
+    """A titled text table with aligned columns."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells; table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append([_format_cell(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return " | ".join(
+                cell.ljust(widths[i]) for i, cell in enumerate(cells)
+            )
+
+        rule = "-+-".join("-" * w for w in widths)
+        out = [self.title, "=" * len(self.title), line(self.columns), rule]
+        out.extend(line(row) for row in self.rows)
+        return "\n".join(out)
+
+    def as_dicts(self) -> List[Dict[str, str]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class Series(Table):
+    """A figure rendered as data series: x column plus one column per line.
+
+    Semantically identical to :class:`Table`; the separate type records
+    that the artifact reproduces a *figure* and names its x-axis.
+    """
+
+    def __init__(self, title: str, x_label: str,
+                 line_labels: Sequence[str]) -> None:
+        super().__init__(title, [x_label, *line_labels])
+        self.x_label = x_label
+
+    def add_point(self, x: Cell, *ys: Cell) -> None:
+        self.add_row(x, *ys)

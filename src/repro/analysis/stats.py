@@ -1,0 +1,86 @@
+"""Summary statistics for experiment harnesses.
+
+Plain-Python implementations (no numpy dependency in the library proper)
+of the handful of statistics every networking evaluation reports: mean,
+percentiles, Jain's fairness index, and a compact distribution summary.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = [
+    "mean",
+    "median",
+    "percentile",
+    "stddev",
+    "jain_fairness",
+    "summarise",
+]
+
+
+def mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        return float("nan")
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile, ``p`` in [0, 100]."""
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    data = sorted(values)
+    if not data:
+        return float("nan")
+    if len(data) == 1:
+        return data[0]
+    rank = (p / 100) * (len(data) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return data[low]
+    frac = rank - low
+    return data[low] * (1 - frac) + data[high] * frac
+
+
+def median(values: Sequence[float]) -> float:
+    return percentile(values, 50)
+
+
+def stddev(values: Sequence[float]) -> float:
+    data = list(values)
+    if len(data) < 2:
+        return 0.0
+    mu = mean(data)
+    return math.sqrt(sum((x - mu) ** 2 for x in data) / (len(data) - 1))
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index in (0, 1]; 1 means perfectly equal."""
+    data = [v for v in values]
+    if not data:
+        return float("nan")
+    total = sum(data)
+    squares = sum(v * v for v in data)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(data) * squares)
+
+
+def summarise(values: Iterable[float]) -> Dict[str, float]:
+    """The standard summary row: count/mean/p50/p95/p99/min/max."""
+    data = sorted(values)
+    if not data:
+        return {k: float("nan") for k in
+                ("count", "mean", "p50", "p95", "p99", "min", "max")}
+    return {
+        "count": len(data),
+        "mean": mean(data),
+        "p50": percentile(data, 50),
+        "p95": percentile(data, 95),
+        "p99": percentile(data, 99),
+        "min": data[0],
+        "max": data[-1],
+    }

@@ -1,0 +1,201 @@
+"""Proactive shortest-path L2 routing.
+
+Where the learning switch reacts to traffic, this app *pre-installs* a
+destination-MAC rule on every switch for every known host, rebuilt on
+each topology or host change.  First packets to a known host never visit
+the controller — the proactive half of benchmark E1's comparison — and
+total table occupancy is O(hosts × switches) regardless of flow count
+(benchmark E2).
+
+Unknown destinations and broadcasts are flooded along a loop-free
+spanning tree of the discovered graph, so the app stays correct on
+redundant topologies where naive flooding would storm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.controller.core import App, SwitchHandle
+from repro.controller.discovery import TopologyDiscovery
+from repro.controller.events import (
+    HostDiscovered,
+    HostMoved,
+    LinkDiscovered,
+    LinkVanished,
+    PacketInEvent,
+)
+from repro.controller.hosttracker import HostTracker
+from repro.dataplane.actions import Output
+from repro.dataplane.match import Match
+from repro.errors import ControllerError
+from repro.graphutil import canonical_tree_edges
+from repro.packet import ARP, Ethernet, LLDP, MACAddress
+
+__all__ = ["ProactiveRouter"]
+
+
+class ProactiveRouter(App):
+    """All-pairs proactive destination routing with spanning-tree floods."""
+
+    name = "proactive-router"
+
+    def __init__(
+        self,
+        discovery: Optional[TopologyDiscovery] = None,
+        host_tracker: Optional[HostTracker] = None,
+        priority: int = 200,
+        table_id: int = 0,
+        rebuild_delay: float = 0.01,
+    ) -> None:
+        super().__init__()
+        self._discovery = discovery
+        self._tracker = host_tracker
+        self.priority = priority
+        self.table_id = table_id
+        self.rebuild_delay = rebuild_delay
+        #: (dpid, mac) -> out_port for rules we currently have installed.
+        self._installed: Dict[Tuple[int, MACAddress], int] = {}
+        self._rebuild_pending = False
+        self.rebuild_count = 0
+        self.packets_flooded = 0
+
+    def start(self, controller) -> None:
+        super().start(controller)
+        if self._discovery is None:
+            self._discovery = controller.get_app(TopologyDiscovery)
+        if self._tracker is None:
+            self._tracker = controller.get_app(HostTracker)
+        if self._discovery is None or self._tracker is None:
+            raise ControllerError(
+                "ProactiveRouter needs TopologyDiscovery and HostTracker"
+            )
+        for event_type in (HostDiscovered, HostMoved, LinkDiscovered,
+                           LinkVanished):
+            controller.subscribe(event_type,
+                                 lambda _ev: self.schedule_rebuild())
+
+    # ------------------------------------------------------------------
+    # Rule management
+    # ------------------------------------------------------------------
+    def schedule_rebuild(self) -> None:
+        """Debounced: coalesce event bursts into one rebuild."""
+        if self._rebuild_pending:
+            return
+        self._rebuild_pending = True
+        self.sim.schedule(self.rebuild_delay, self._rebuild)
+
+    def _rebuild(self) -> None:
+        self._rebuild_pending = False
+        self.rebuild_count += 1
+        graph = self._discovery.graph()
+        wanted: Dict[Tuple[int, MACAddress], int] = {}
+        for entry in self._tracker.hosts_by_mac.values():
+            if entry.dpid not in graph:
+                continue
+            # Shortest-path tree toward the host's attachment switch.
+            try:
+                paths = nx.single_source_shortest_path(graph, entry.dpid)
+            except nx.NodeNotFound:  # pragma: no cover - defensive
+                continue
+            for dpid, path in paths.items():
+                if dpid == entry.dpid:
+                    wanted[(dpid, entry.mac)] = entry.port
+                    continue
+                # path is [entry.dpid, ..., dpid]; next hop back toward
+                # the host is the second-to-last element.
+                next_hop = path[-2]
+                port = self._discovery.port_toward(dpid, next_hop)
+                if port is not None:
+                    wanted[(dpid, entry.mac)] = port
+        self._apply_diff(wanted)
+
+    def _apply_diff(self, wanted: Dict[Tuple[int, MACAddress], int]) -> None:
+        switches = self.controller.switches
+        for key in list(self._installed):
+            if key not in wanted:
+                dpid, mac = key
+                switch = switches.get(dpid)
+                if switch is not None:
+                    switch.delete_flows(
+                        match=Match(eth_dst=mac),
+                        table_id=self.table_id,
+                        priority=self.priority,
+                        strict=True,
+                    )
+                del self._installed[key]
+        for key, port in wanted.items():
+            if self._installed.get(key) == port:
+                continue
+            dpid, mac = key
+            switch = switches.get(dpid)
+            if switch is None:
+                continue
+            switch.add_flow(
+                Match(eth_dst=mac),
+                [Output(port)],
+                priority=self.priority,
+                table_id=self.table_id,
+            )
+            self._installed[key] = port
+
+    @property
+    def rules_installed(self) -> int:
+        return len(self._installed)
+
+    # ------------------------------------------------------------------
+    # Flooding fallback for unknowns and broadcast
+    # ------------------------------------------------------------------
+    def on_packet_in(self, event: PacketInEvent) -> None:
+        packet = event.packet
+        if packet.get(LLDP) is not None:
+            return
+        eth = packet.get(Ethernet)
+        if eth is None:
+            return
+        arp = packet.get(ARP)
+        if arp is not None and arp.is_request:
+            # Leave answered requests to the ArpProxy (if present and
+            # knowledgeable); only flood the unknown ones.
+            if self._tracker.lookup_ip(arp.target_ip) is not None:
+                return
+        self._flood_on_tree(event)
+
+    def _flood_on_tree(self, event: PacketInEvent) -> None:
+        """Flood at the punting switch along spanning-tree + edge ports.
+
+        Each switch that receives the flood and misses will punt and
+        flood its own tree ports in turn, so the packet propagates hop
+        by hop without ever looping.
+        """
+        dpid = event.switch.dpid
+        ports = self.flood_ports(dpid) - {event.in_port}
+        if not ports:
+            return
+        event.switch.packet_out(
+            event.packet,
+            [Output(p) for p in sorted(ports)],
+            in_port=event.in_port,
+        )
+        self.packets_flooded += 1
+
+    def flood_ports(self, dpid: int) -> Set[int]:
+        """Edge ports plus this switch's spanning-tree ports."""
+        graph = self._discovery.graph()
+        switch = self.controller.switches.get(dpid)
+        if switch is None:
+            return set()
+        all_ports = {p.number for p in switch.ports.values() if p.up}
+        inter_switch = self._discovery.switch_ports_in_use(dpid)
+        edge_ports = all_ports - inter_switch
+        tree_ports: Set[int] = set()
+        if dpid in graph and graph.number_of_edges() > 0:
+            for edge in canonical_tree_edges(graph):
+                if dpid in edge:
+                    (other,) = edge - {dpid}
+                    port = self._discovery.port_toward(dpid, other)
+                    if port is not None:
+                        tree_ports.add(port)
+        return edge_ports | tree_ports

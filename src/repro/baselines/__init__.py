@@ -1,0 +1,25 @@
+"""Distributed control-plane baselines (the pre-SDN comparison points)."""
+
+from repro.baselines.linkstate import (
+    LS_ETHERTYPE,
+    LinkStateNetwork,
+    LinkStateSwitch,
+    LSMessage,
+)
+from repro.baselines.stp import (
+    BPDU,
+    BPDU_ETHERTYPE,
+    SpanningTreeNetwork,
+    StpSwitch,
+)
+
+__all__ = [
+    "BPDU",
+    "BPDU_ETHERTYPE",
+    "LinkStateNetwork",
+    "LinkStateSwitch",
+    "LSMessage",
+    "LS_ETHERTYPE",
+    "SpanningTreeNetwork",
+    "StpSwitch",
+]

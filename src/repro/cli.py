@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands, aimed at kicking the tyres without writing code:
+
+* ``demo``     — build a topology, run a platform profile, verify
+  all-pairs connectivity, print what the controller learned and what
+  the control channel cost.
+* ``topology`` — describe a builder's output (nodes, links, degrees).
+* ``bench``    — list the experiment suite and how to regenerate it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import Table
+from repro.core import ZenPlatform
+from repro.netem import Topology
+
+__all__ = ["main", "build_topology"]
+
+_BUILDERS = ("linear", "single", "ring", "star", "tree", "fat_tree",
+             "mesh", "waxman")
+
+_EXPERIMENTS = [
+    ("E1", "Table 1", "flow-setup latency across control designs"),
+    ("E2", "Figure 1", "flow-table occupancy vs active flows"),
+    ("E3", "Table 2", "controller packet-in capacity (M/D/1)"),
+    ("E4", "Figure 2", "failure recovery time by repair mechanism"),
+    ("E5", "Table 3", "traffic engineering vs SPF/ECMP on a fat-tree"),
+    ("E6", "Figure 3", "VIP load balancing vs backend pool size"),
+    ("E7", "Table 4", "ACL rule-set scaling"),
+    ("E8", "Figure 4", "intent reconvergence under churn"),
+    ("E9", "Table 5", "control-channel overhead by app design"),
+    ("E10", "Figure 5", "slice isolation vs a hostile tenant"),
+    ("A1", "ablation", "reactive setup cost vs controller latency"),
+    ("A2", "ablation", "microflow rules under table pressure (LRU)"),
+]
+
+
+def build_topology(name: str, size: int, bandwidth: float) -> Topology:
+    """Instantiate a named builder at a given size."""
+    if name == "linear":
+        return Topology.linear(size, hosts_per_switch=1,
+                               bandwidth_bps=bandwidth)
+    if name == "single":
+        return Topology.single(size, bandwidth_bps=bandwidth)
+    if name == "ring":
+        return Topology.ring(max(size, 3), hosts_per_switch=1,
+                             bandwidth_bps=bandwidth)
+    if name == "star":
+        return Topology.star(size, hosts_per_leaf=1,
+                             bandwidth_bps=bandwidth)
+    if name == "tree":
+        return Topology.tree(depth=max(size, 1), fanout=2,
+                             bandwidth_bps=bandwidth)
+    if name == "fat_tree":
+        k = size if size % 2 == 0 else size + 1
+        return Topology.fat_tree(max(k, 2), bandwidth_bps=bandwidth)
+    if name == "mesh":
+        return Topology.mesh(size, hosts_per_switch=1,
+                             bandwidth_bps=bandwidth)
+    if name == "waxman":
+        return Topology.waxman(size, hosts_per_switch=1,
+                               bandwidth_bps=bandwidth)
+    raise SystemExit(f"unknown topology {name!r}; pick from {_BUILDERS}")
+
+
+def _cmd_demo(args) -> int:
+    topo = build_topology(args.topology, args.size, args.bandwidth)
+    print(f"Built {topo}")
+    platform = ZenPlatform(topo, profile=args.profile, seed=args.seed,
+                           control_latency=args.control_latency)
+    platform.start()
+    print(f"Controller: {platform.controller.switch_count} switches, "
+          f"{platform.discovery.link_count} directed links discovered")
+    delivery = platform.ping_all(count=args.pings, settle=8.0)
+    print(f"All-pairs ping delivery: {delivery:.0%}")
+    table = Table("Per-switch state", ["switch", "flows", "forwarded",
+                                       "punted"])
+    for name in sorted(platform.net.switches):
+        dp = platform.net.switches[name]
+        table.add_row(name, dp.flow_count(), dp.packets_forwarded,
+                      dp.packets_to_controller)
+    print()
+    print(table.render())
+    print(f"\nControl channel: {platform.total_control_messages()} "
+          f"messages, {platform.total_control_bytes()} bytes")
+    print(f"Simulated {platform.sim.now:.1f}s in "
+          f"{platform.sim.events_processed} events (seed {args.seed})")
+    return 0 if delivery == 1.0 else 1
+
+
+def _cmd_topology(args) -> int:
+    topo = build_topology(args.topology, args.size, args.bandwidth)
+    print(topo)
+    table = Table("Nodes", ["name", "kind", "identity", "degree"])
+    for node in topo.nodes.values():
+        identity = (f"dpid={node.dpid}" if node.is_switch
+                    else f"ip={node.ip}")
+        table.add_row(node.name, node.kind, identity,
+                      len(topo.neighbours(node.name)))
+    print(table.render())
+    switch_links = sum(
+        1 for l in topo.links
+        if topo.nodes[l.a].is_switch and topo.nodes[l.b].is_switch
+    )
+    print(f"\n{len(topo.links)} links total "
+          f"({switch_links} switch-to-switch)")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    table = Table("Experiment suite (see DESIGN.md / EXPERIMENTS.md)",
+                  ["id", "artifact", "question"])
+    for exp_id, artifact, question in _EXPERIMENTS:
+        table.add_row(exp_id, artifact, question)
+    print(table.render())
+    print("\nRegenerate everything:  pytest benchmarks/ "
+          "--benchmark-only")
+    print("Per-artifact output lands in benchmarks/results/")
+    return 0
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="ZenSDN: an SDN platform on a deterministic "
+                    "simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a platform demo")
+    demo.add_argument("--topology", default="ring", choices=_BUILDERS)
+    demo.add_argument("--size", type=int, default=4,
+                      help="builder size parameter")
+    demo.add_argument("--profile", default="proactive",
+                      choices=("reactive", "proactive"))
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--pings", type=int, default=1)
+    demo.add_argument("--bandwidth", type=float, default=1e9)
+    demo.add_argument("--control-latency", type=float, default=0.001)
+    demo.set_defaults(fn=_cmd_demo)
+
+    topo = sub.add_parser("topology", help="describe a topology builder")
+    topo.add_argument("topology", choices=_BUILDERS)
+    topo.add_argument("--size", type=int, default=4)
+    topo.add_argument("--bandwidth", type=float, default=1e9)
+    topo.set_defaults(fn=_cmd_topology)
+
+    bench = sub.add_parser("bench", help="list the experiment suite")
+    bench.set_defaults(fn=_cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `python -m repro bench | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

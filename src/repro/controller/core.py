@@ -1,0 +1,381 @@
+"""The controller core: channel handshakes, switch handles, event bus.
+
+The controller is deliberately thin — everything interesting lives in
+apps.  The core's jobs are:
+
+* complete the ZOF handshake on every accepted channel and mint a
+  :class:`SwitchHandle`,
+* decode asynchronous messages into typed events on the bus,
+* model controller compute (an optional single-server queue for
+  packet-in processing, so benchmark E3's saturation curve is honest),
+* give apps an ergonomic programming surface (``add_flow``,
+  ``packet_out``, ``barrier``, stats requests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Type
+
+from repro.controller.events import (
+    ErrorEvent,
+    Event,
+    FlowRemovedEvent,
+    PacketInEvent,
+    PortStatusEvent,
+    SwitchEnter,
+    SwitchLeave,
+)
+from repro.dataplane.actions import Action
+from repro.dataplane.group import Bucket
+from repro.dataplane.match import Match
+from repro.errors import ControllerError
+from repro.packet import Packet
+from repro.sim import Simulator
+from repro.southbound.channel import ChannelEndpoint, ControlChannel
+from repro.southbound.messages import (
+    BarrierRequest,
+    EchoReply,
+    EchoRequest,
+    Error,
+    FeaturesReply,
+    FeaturesRequest,
+    FlowMod,
+    FlowModCommand,
+    FlowRemoved,
+    GroupMod,
+    Hello,
+    Message,
+    MeterMod,
+    ModCommand,
+    PacketIn,
+    PacketOut,
+    PortDesc,
+    PortStatus,
+    StatsKind,
+    StatsReply,
+    StatsRequest,
+)
+
+__all__ = ["Controller", "SwitchHandle", "App"]
+
+
+class SwitchHandle:
+    """The controller's view of one connected switch."""
+
+    def __init__(self, controller: "Controller",
+                 endpoint: ChannelEndpoint,
+                 features: FeaturesReply) -> None:
+        self.controller = controller
+        self.endpoint = endpoint
+        self.dpid = features.dpid
+        self.num_tables = features.num_tables
+        self.ports: Dict[int, PortDesc] = {
+            p.number: p for p in features.ports
+        }
+        self.connected = True
+
+    # ------------------------------------------------------------------
+    # Programming surface
+    # ------------------------------------------------------------------
+    def send(self, msg: Message) -> int:
+        if not self.connected:
+            raise ControllerError(f"switch {self.dpid} is disconnected")
+        return self.endpoint.send(msg)
+
+    def add_flow(
+        self,
+        match: Match,
+        actions: List[Action],
+        priority: int = 0,
+        table_id: int = 0,
+        idle_timeout: float = 0.0,
+        hard_timeout: float = 0.0,
+        cookie: int = 0,
+        goto_table: Optional[int] = None,
+        notify_removed: bool = False,
+    ) -> None:
+        """Install one flow entry (ZOF FlowMod ADD)."""
+        flags = FlowMod.SEND_FLOW_REM if notify_removed else 0
+        self.send(FlowMod(
+            command=FlowModCommand.ADD,
+            table_id=table_id,
+            match=match,
+            priority=priority,
+            actions=actions,
+            idle_timeout=idle_timeout,
+            hard_timeout=hard_timeout,
+            cookie=cookie,
+            goto_table=goto_table,
+            flags=flags,
+        ))
+
+    def delete_flows(
+        self,
+        match: Optional[Match] = None,
+        table_id: int = 0,
+        priority: Optional[int] = None,
+        strict: bool = False,
+        cookie: int = 0,
+    ) -> None:
+        command = (FlowModCommand.DELETE_STRICT if strict
+                   else FlowModCommand.DELETE)
+        self.send(FlowMod(
+            command=command,
+            table_id=table_id,
+            match=match if match is not None else Match(),
+            priority=priority if priority is not None else 0,
+            cookie=cookie,
+        ))
+
+    def packet_out(self, packet: Packet, actions: List[Action],
+                   in_port: int = 0) -> None:
+        self.send(PacketOut(in_port, actions, packet.encode()))
+
+    def barrier(self, callback: Optional[Callable[[], None]] = None) -> None:
+        """Request a barrier; ``callback`` fires when the reply lands."""
+        if callback is None:
+            self.send(BarrierRequest())
+            return
+        self.endpoint.request(BarrierRequest(), lambda _msg: callback())
+
+    def request_stats(self, kind: int,
+                      callback: Callable[[StatsReply], None],
+                      table_id: int = 0xFF) -> None:
+        self.endpoint.request(StatsRequest(kind, table_id), callback)
+
+    def add_group(self, group_id: int, group_type: str,
+                  buckets: List[Bucket]) -> None:
+        self.send(GroupMod(ModCommand.ADD, group_id, group_type, buckets))
+
+    def modify_group(self, group_id: int, group_type: str,
+                     buckets: List[Bucket]) -> None:
+        self.send(GroupMod(ModCommand.MODIFY, group_id, group_type, buckets))
+
+    def delete_group(self, group_id: int) -> None:
+        self.send(GroupMod(ModCommand.DELETE, group_id))
+
+    def add_meter(self, meter_id: int, rate_bps: float,
+                  burst_bytes: int = 0) -> None:
+        self.send(MeterMod(ModCommand.ADD, meter_id, rate_bps, burst_bytes))
+
+    def delete_meter(self, meter_id: int) -> None:
+        self.send(MeterMod(ModCommand.DELETE, meter_id))
+
+    def __repr__(self) -> str:
+        state = "up" if self.connected else "down"
+        return f"<SwitchHandle dpid={self.dpid} {state}>"
+
+
+class App:
+    """Base class for controller applications.
+
+    Override the ``on_*`` hooks you care about; :meth:`start` wires them
+    to the event bus.  Apps see switches that connected before they were
+    added via a synthetic :class:`SwitchEnter` replay.
+    """
+
+    name = "app"
+
+    def __init__(self) -> None:
+        self.controller: Optional["Controller"] = None
+
+    def start(self, controller: "Controller") -> None:
+        self.controller = controller
+        controller.subscribe(SwitchEnter,
+                             lambda ev: self.on_switch_enter(ev.switch))
+        controller.subscribe(SwitchLeave,
+                             lambda ev: self.on_switch_leave(ev.dpid))
+        controller.subscribe(PacketInEvent, self.on_packet_in)
+        controller.subscribe(FlowRemovedEvent, self.on_flow_removed)
+        controller.subscribe(PortStatusEvent, self.on_port_status)
+        controller.subscribe(ErrorEvent, self.on_error)
+
+    # -- overridable hooks ---------------------------------------------
+    def on_switch_enter(self, switch: SwitchHandle) -> None:
+        """A switch finished its handshake."""
+
+    def on_switch_leave(self, dpid: int) -> None:
+        """A switch disconnected."""
+
+    def on_packet_in(self, event: PacketInEvent) -> None:
+        """A packet was punted to the controller."""
+
+    def on_flow_removed(self, event: FlowRemovedEvent) -> None:
+        """A flow entry the controller asked to watch was removed."""
+
+    def on_port_status(self, event: PortStatusEvent) -> None:
+        """A switch port changed liveness."""
+
+    def on_error(self, event: ErrorEvent) -> None:
+        """The switch rejected something we sent."""
+
+    @property
+    def sim(self) -> Simulator:
+        if self.controller is None:
+            raise ControllerError(f"app {self.name} is not started")
+        return self.controller.sim
+
+    def __repr__(self) -> str:
+        return f"<App {self.name}>"
+
+
+class Controller:
+    """A centralised SDN controller.
+
+    Parameters
+    ----------
+    sim:
+        The shared simulation kernel.
+    packet_in_service_time:
+        Seconds of controller CPU consumed per punted packet, modelled
+        as a single-server FIFO.  0 disables the model (infinitely fast
+        controller).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "controller",
+                 packet_in_service_time: float = 0.0) -> None:
+        self.sim = sim
+        self.name = name
+        self.packet_in_service_time = packet_in_service_time
+        self.switches: Dict[int, SwitchHandle] = {}
+        self.apps: List[App] = []
+        self._subscribers: Dict[Type[Event], List[Callable]] = {}
+        self._endpoint_switch: Dict[ChannelEndpoint, SwitchHandle] = {}
+        #: When the controller CPU frees up (single-server queue model).
+        self._cpu_free_at = 0.0
+        # Counters for E3/E9.
+        self.packet_ins_handled = 0
+        self.packet_in_delays: List[float] = []
+        self.events_published = 0
+
+    # ------------------------------------------------------------------
+    # Event bus
+    # ------------------------------------------------------------------
+    def subscribe(self, event_type: Type[Event],
+                  handler: Callable[[Event], None]) -> None:
+        self._subscribers.setdefault(event_type, []).append(handler)
+
+    def publish(self, event: Event) -> None:
+        self.events_published += 1
+        for handler in self._subscribers.get(type(event), []):
+            handler(event)
+
+    # ------------------------------------------------------------------
+    # App lifecycle
+    # ------------------------------------------------------------------
+    def add_app(self, app: App) -> App:
+        """Register and start an app; replays SwitchEnter for live switches."""
+        self.apps.append(app)
+        app.start(self)
+        for handle in self.switches.values():
+            app.on_switch_enter(handle)
+        return app
+
+    def get_app(self, app_type: Type[App]) -> Optional[App]:
+        for app in self.apps:
+            if isinstance(app, app_type):
+                return app
+        return None
+
+    # ------------------------------------------------------------------
+    # Channel intake
+    # ------------------------------------------------------------------
+    def accept_channel(self, channel: ControlChannel) -> None:
+        """Claim the controller end of ``channel`` and start the handshake.
+
+        The channel may be connected before or after this call.
+        """
+        endpoint = channel.controller_end
+        endpoint.handler = lambda msg: self._handle(endpoint, msg)
+        endpoint.on_connect = lambda: endpoint.send(Hello())
+        endpoint.on_disconnect = lambda: self._on_channel_down(endpoint)
+        if channel.connected:
+            endpoint.send(Hello())
+
+    def _on_channel_down(self, endpoint: ChannelEndpoint) -> None:
+        handle = self._endpoint_switch.pop(endpoint, None)
+        if handle is None:
+            return
+        handle.connected = False
+        self.switches.pop(handle.dpid, None)
+        self.publish(SwitchLeave(handle.dpid))
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def _handle(self, endpoint: ChannelEndpoint, msg: Message) -> None:
+        if isinstance(msg, Hello):
+            endpoint.request(FeaturesRequest(),
+                             lambda reply: self._on_features(endpoint, reply))
+            return
+        if isinstance(msg, EchoRequest):
+            reply = EchoReply(msg.data)
+            reply.xid = msg.xid
+            endpoint.send(reply)
+            return
+        handle = self._endpoint_switch.get(endpoint)
+        if handle is None:
+            return  # pre-handshake noise
+        if isinstance(msg, PacketIn):
+            self._enqueue_packet_in(handle, msg)
+        elif isinstance(msg, FlowRemoved):
+            self.publish(FlowRemovedEvent(
+                handle, msg.table_id, msg.match, msg.priority, msg.cookie,
+                msg.reason, msg.duration, msg.packet_count, msg.byte_count,
+            ))
+        elif isinstance(msg, PortStatus):
+            port = msg.port
+            handle.ports[port.number] = port
+            self.publish(PortStatusEvent(handle, port.number, port.up))
+        elif isinstance(msg, Error):
+            self.publish(ErrorEvent(handle, msg.code, msg.detail))
+        # Stats and barrier replies ride the xid request path.
+
+    def _on_features(self, endpoint: ChannelEndpoint,
+                     reply: Message) -> None:
+        if not isinstance(reply, FeaturesReply):
+            return
+        handle = SwitchHandle(self, endpoint, reply)
+        self.switches[handle.dpid] = handle
+        self._endpoint_switch[endpoint] = handle
+        self.publish(SwitchEnter(handle))
+
+    # -- packet-in compute model ---------------------------------------
+    def _enqueue_packet_in(self, handle: SwitchHandle,
+                           msg: PacketIn) -> None:
+        arrival = self.sim.now
+        if self.packet_in_service_time <= 0:
+            self._process_packet_in(handle, msg, arrival)
+            return
+        start = max(arrival, self._cpu_free_at)
+        finish = start + self.packet_in_service_time
+        self._cpu_free_at = finish
+        self.sim.schedule_at(finish, self._process_packet_in,
+                             handle, msg, arrival)
+
+    def _process_packet_in(self, handle: SwitchHandle, msg: PacketIn,
+                           arrival: float) -> None:
+        self.packet_ins_handled += 1
+        self.packet_in_delays.append(self.sim.now - arrival)
+        packet = Packet.decode(msg.data)
+        self.publish(PacketInEvent(handle, msg.in_port, packet,
+                                   msg.reason))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def switch_count(self) -> int:
+        return len(self.switches)
+
+    def switch(self, dpid: int) -> SwitchHandle:
+        handle = self.switches.get(dpid)
+        if handle is None:
+            raise ControllerError(f"no connected switch with dpid {dpid}")
+        return handle
+
+    def __repr__(self) -> str:
+        return (
+            f"<Controller {self.name!r}: {len(self.switches)} switches, "
+            f"{len(self.apps)} apps>"
+        )

@@ -1,0 +1,104 @@
+"""Path computation over the discovered topology.
+
+A thin service on top of :class:`TopologyDiscovery`'s graph offering the
+three primitives every forwarding app needs: shortest path, k-shortest
+paths (Yen), and the full equal-cost set for ECMP.  Paths are lists of
+dpids; :meth:`PathService.path_ports` converts one into the (dpid,
+out_port) hop list a flow programmer installs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.controller.discovery import TopologyDiscovery
+from repro.errors import ControllerError
+
+__all__ = ["PathService"]
+
+
+class PathService:
+    """Stateless path queries against the live discovery graph."""
+
+    def __init__(self, discovery: TopologyDiscovery) -> None:
+        self.discovery = discovery
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def shortest_path(self, src_dpid: int,
+                      dst_dpid: int) -> Optional[List[int]]:
+        """Hop-count shortest dpid path, or ``None`` if disconnected."""
+        graph = self.discovery.graph()
+        try:
+            return nx.shortest_path(graph, src_dpid, dst_dpid)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return None
+
+    def k_shortest_paths(self, src_dpid: int, dst_dpid: int,
+                         k: int) -> List[List[int]]:
+        """Up to ``k`` loop-free paths in non-decreasing length order."""
+        if k < 1:
+            raise ControllerError(f"k must be >= 1, got {k}")
+        graph = self.discovery.graph()
+        if src_dpid not in graph or dst_dpid not in graph:
+            return []
+        paths: List[List[int]] = []
+        try:
+            for path in nx.shortest_simple_paths(graph, src_dpid, dst_dpid):
+                paths.append(path)
+                if len(paths) >= k:
+                    break
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return []
+        return paths
+
+    def ecmp_paths(self, src_dpid: int, dst_dpid: int,
+                   limit: int = 16) -> List[List[int]]:
+        """Every shortest path (up to ``limit``) — the ECMP set."""
+        graph = self.discovery.graph()
+        if src_dpid not in graph or dst_dpid not in graph:
+            return []
+        try:
+            paths = []
+            for path in nx.all_shortest_paths(graph, src_dpid, dst_dpid):
+                paths.append(path)
+                if len(paths) >= limit:
+                    break
+            return paths
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return []
+
+    def distance(self, src_dpid: int, dst_dpid: int) -> Optional[int]:
+        path = self.shortest_path(src_dpid, dst_dpid)
+        return None if path is None else len(path) - 1
+
+    # ------------------------------------------------------------------
+    # Path -> forwarding hops
+    # ------------------------------------------------------------------
+    def path_ports(self, path: List[int]) -> List[Tuple[int, int]]:
+        """Convert a dpid path into ``[(dpid, out_port), ...]`` hops.
+
+        The final hop's host-facing port is not included (the caller
+        knows the destination host's attachment port).
+        """
+        hops: List[Tuple[int, int]] = []
+        for here, there in zip(path, path[1:]):
+            port = self.discovery.port_toward(here, there)
+            if port is None:
+                raise ControllerError(
+                    f"no known port from {here} toward {there}; "
+                    "discovery may be stale"
+                )
+            hops.append((here, port))
+        return hops
+
+    def path_uses_link(self, path: List[int], dpid_a: int,
+                       dpid_b: int) -> bool:
+        """True when ``path`` traverses the (a, b) adjacency either way."""
+        for here, there in zip(path, path[1:]):
+            if {here, there} == {dpid_a, dpid_b}:
+                return True
+        return False

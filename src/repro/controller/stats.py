@@ -1,0 +1,109 @@
+"""Periodic statistics collection.
+
+The poller requests port stats from every connected switch on a fixed
+interval, derives per-port rates from consecutive samples, and publishes
+:class:`PortStatsUpdate` events.  Traffic-engineering apps consume the
+rates; tests and benchmarks read the time series directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.controller.core import App, SwitchHandle
+from repro.controller.events import PortStatsUpdate
+from repro.southbound.messages import StatsKind, StatsReply
+
+__all__ = ["StatsPoller", "PortRate"]
+
+
+class PortRate:
+    """Derived per-port rates between the last two samples."""
+
+    __slots__ = ("dpid", "port", "rx_bps", "tx_bps", "rx_pps", "tx_pps")
+
+    def __init__(self, dpid: int, port: int, rx_bps: float, tx_bps: float,
+                 rx_pps: float, tx_pps: float) -> None:
+        self.dpid = dpid
+        self.port = port
+        self.rx_bps = rx_bps
+        self.tx_bps = tx_bps
+        self.rx_pps = rx_pps
+        self.tx_pps = tx_pps
+
+    def __repr__(self) -> str:
+        return (
+            f"<PortRate {self.dpid}:{self.port} "
+            f"tx={self.tx_bps / 1e6:.2f}Mbps rx={self.rx_bps / 1e6:.2f}Mbps>"
+        )
+
+
+class StatsPoller(App):
+    """Polls port counters and derives rates."""
+
+    name = "stats"
+
+    def __init__(self, interval: float = 1.0) -> None:
+        super().__init__()
+        self.interval = interval
+        #: (dpid, port) -> (time, rx_bytes, tx_bytes, rx_pkts, tx_pkts)
+        self._last_sample: Dict[Tuple[int, int], Tuple] = {}
+        #: (dpid, port) -> latest PortRate
+        self.rates: Dict[Tuple[int, int], PortRate] = {}
+        self._stop: Optional[Callable[[], None]] = None
+
+    def start(self, controller) -> None:
+        super().start(controller)
+        self._stop = controller.sim.call_every(
+            self.interval, self._poll_all, jitter=0.01
+        )
+
+    def stop(self) -> None:
+        if self._stop is not None:
+            self._stop()
+            self._stop = None
+
+    def _poll_all(self) -> None:
+        for switch in list(self.controller.switches.values()):
+            switch.request_stats(
+                StatsKind.PORT,
+                lambda reply, s=switch: self._on_reply(s, reply),
+            )
+
+    def _on_reply(self, switch: SwitchHandle, reply: StatsReply) -> None:
+        if reply.kind != StatsKind.PORT:
+            return
+        now = self.sim.now
+        for entry in reply.entries:
+            key = (switch.dpid, entry["port"])
+            sample = (now, entry["rx_bytes"], entry["tx_bytes"],
+                      entry["rx_packets"], entry["tx_packets"])
+            last = self._last_sample.get(key)
+            self._last_sample[key] = sample
+            if last is None:
+                continue
+            dt = now - last[0]
+            if dt <= 0:
+                continue
+            self.rates[key] = PortRate(
+                switch.dpid, entry["port"],
+                rx_bps=(sample[1] - last[1]) * 8 / dt,
+                tx_bps=(sample[2] - last[2]) * 8 / dt,
+                rx_pps=(sample[3] - last[3]) / dt,
+                tx_pps=(sample[4] - last[4]) / dt,
+            )
+        self.controller.publish(PortStatsUpdate(
+            switch.dpid, reply.entries, self.interval
+        ))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def rate(self, dpid: int, port: int) -> Optional[PortRate]:
+        return self.rates.get((dpid, port))
+
+    def busiest_ports(self, top_n: int = 5) -> List[PortRate]:
+        ranked = sorted(self.rates.values(),
+                        key=lambda r: max(r.tx_bps, r.rx_bps),
+                        reverse=True)
+        return ranked[:top_n]

@@ -1,0 +1,179 @@
+"""ZenPlatform: the whole stack assembled with one call.
+
+The platform is the top of the layering: it instantiates the emulated
+network, a controller, the standard service apps (discovery, host
+tracking, ARP proxying), and a forwarding profile — then connects every
+switch's control channel.  Examples and benchmarks build on this instead
+of re-wiring the stack by hand.
+
+Profiles
+--------
+* ``reactive``  — L2 learning switch (flows installed on demand).
+* ``proactive`` — all-pairs shortest-path routing, pre-installed.
+* ``bare``      — services only; the caller adds its own apps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.apps.arp_proxy import ArpProxy
+from repro.apps.learning_switch import LearningSwitch
+from repro.apps.proactive_router import ProactiveRouter
+from repro.controller.core import App, Controller
+from repro.controller.discovery import TopologyDiscovery
+from repro.controller.hosttracker import HostTracker
+from repro.controller.intents import IntentService
+from repro.errors import ControllerError
+from repro.netem.network import Network
+from repro.netem.topology import Topology
+from repro.sim import Simulator
+
+__all__ = ["ZenPlatform"]
+
+_PROFILES = ("reactive", "proactive", "bare")
+
+
+class ZenPlatform:
+    """One-call assembly of network + controller + app stack.
+
+    Parameters
+    ----------
+    topology:
+        What to emulate.
+    profile:
+        Forwarding profile (see module docstring).
+    control_latency:
+        One-way switch-to-controller delay.
+    flowmod_delay:
+        Per-flow-mod switch install time (TCAM latency model).
+    packet_in_service_time:
+        Controller CPU per punted packet.
+    intents:
+        Also start the intent service (proactive/bare profiles).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        profile: str = "proactive",
+        seed: int = 0,
+        control_latency: float = 0.001,
+        control_bandwidth_bps: float = 0.0,
+        flowmod_delay: float = 0.0,
+        packet_in_service_time: float = 0.0,
+        num_tables: int = 4,
+        table_capacity: int = 0,
+        eviction_policy: Optional[str] = None,
+        intents: bool = False,
+        probe_interval: float = 1.0,
+        exact_match: bool = False,
+    ) -> None:
+        if profile not in _PROFILES:
+            raise ControllerError(
+                f"unknown profile {profile!r}; pick one of {_PROFILES}"
+            )
+        self.profile = profile
+        self.net = Network(
+            topology,
+            seed=seed,
+            num_tables=num_tables,
+            table_capacity=table_capacity,
+            eviction_policy=eviction_policy,
+        )
+        self.controller = Controller(
+            self.net.sim,
+            packet_in_service_time=packet_in_service_time,
+        )
+        # Service apps every profile needs.
+        self.discovery = self.controller.add_app(
+            TopologyDiscovery(probe_interval=probe_interval)
+        )
+        self.hosts = self.controller.add_app(HostTracker())
+        self.arp_proxy = self.controller.add_app(ArpProxy())
+        self.learning: Optional[LearningSwitch] = None
+        self.router: Optional[ProactiveRouter] = None
+        self.intents: Optional[IntentService] = None
+        if profile == "reactive":
+            self.learning = self.controller.add_app(
+                LearningSwitch(exact_match=exact_match)
+            )
+        elif profile == "proactive":
+            self.router = self.controller.add_app(ProactiveRouter())
+        if intents:
+            self.intents = self.controller.add_app(IntentService())
+        # Wire every switch to the controller.
+        for name in self.net.switches:
+            channel = self.net.make_channel(
+                name,
+                latency=control_latency,
+                bandwidth_bps=control_bandwidth_bps,
+                flowmod_delay=flowmod_delay,
+            )
+            self.controller.accept_channel(channel)
+            channel.connect()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def sim(self) -> Simulator:
+        return self.net.sim
+
+    def start(self, warmup: Optional[float] = None) -> "ZenPlatform":
+        """Run long enough for handshakes and discovery to settle."""
+        if warmup is None:
+            warmup = 2 * self.discovery.probe_interval + 0.5
+        self.net.run(warmup)
+        return self
+
+    def run(self, duration: float) -> None:
+        self.net.run(duration)
+
+    def add_app(self, app: App) -> App:
+        return self.controller.add_app(app)
+
+    # ------------------------------------------------------------------
+    # Convenience passthroughs
+    # ------------------------------------------------------------------
+    def host(self, name: str):
+        return self.net.host(name)
+
+    def switch(self, name: str):
+        return self.net.switch(name)
+
+    def ping_all(self, count: int = 1, settle: float = 10.0) -> float:
+        return self.net.ping_all(count=count, settle=settle)
+
+    def fail_link(self, a: str, b: str) -> None:
+        self.net.fail_link(a, b)
+
+    def recover_link(self, a: str, b: str) -> None:
+        self.net.recover_link(a, b)
+
+    def control_overhead(self) -> Dict[str, dict]:
+        """Per-switch control-channel counters (benchmark E9)."""
+        return {
+            name: channel.total_stats()
+            for name, channel in self.net.channels.items()
+        }
+
+    def total_control_messages(self) -> int:
+        total = 0
+        for stats in self.control_overhead().values():
+            total += stats["to_controller"]["messages"]
+            total += stats["to_switch"]["messages"]
+        return total
+
+    def total_control_bytes(self) -> int:
+        total = 0
+        for stats in self.control_overhead().values():
+            total += stats["to_controller"]["bytes"]
+            total += stats["to_switch"]["bytes"]
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"<ZenPlatform {self.profile!r} on "
+            f"{self.net.topology.name!r}>"
+        )

@@ -1,0 +1,409 @@
+"""A compositional policy algebra (Frenetic/NetKAT-flavoured).
+
+Policies describe per-switch packet processing declaratively and compile
+to prioritised flow rules, so operators state *what* should happen and
+never hand-order rule priorities — the keynote's "program the network,
+don't configure boxes" stance made executable.
+
+Combinators
+-----------
+* ``filter(**fields)`` — pass packets matching the fields, drop the rest.
+* ``fwd(port)`` / ``punt()`` / ``drop()`` — terminal forwarding decisions.
+* ``mod(**fields)`` — rewrite header fields (``eth_src``, ``eth_dst``,
+  ``ip_src``, ``ip_dst``, ``l4_src``, ``l4_dst``, ``ip_dscp``,
+  ``vlan_vid``).
+* ``a >> b`` — sequential composition (a's filters/rewrites, then b).
+* ``a | b`` — parallel composition (both behaviours).
+* ``ifte(pred, then_p, else_p)`` — predicated branching, compiled with
+  the classic priority trick (no negation needed).
+
+Compilation produces a first-match-wins rule list; ``install_policy``
+pushes it to a switch with descending priorities.
+
+Restrictions (checked, not silent): the left side of ``>>`` must be
+non-terminal (filters/rewrites only), and parallel branches that both
+rewrite the same packet are rejected — these keep the compiled rules
+faithful to the algebra's semantics on a single-copy dataplane.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.dataplane.actions import (
+    Action,
+    Output,
+    PORT_CONTROLLER,
+    PORT_FLOOD,
+    SetDSCP,
+    SetEthDst,
+    SetEthSrc,
+    SetIPDst,
+    SetIPSrc,
+    SetL4Dst,
+    SetL4Src,
+    SetVLAN,
+)
+from repro.dataplane.match import Match
+from repro.errors import PolicyError
+from repro.packet import IPv4Address, MACAddress
+
+__all__ = [
+    "Policy",
+    "Rule",
+    "filter_",
+    "fwd",
+    "punt",
+    "drop",
+    "flood",
+    "mod",
+    "ifte",
+    "compile_policy",
+    "install_policy",
+]
+
+#: Field name -> (set-action constructor, match field it writes).
+_WRITERS = {
+    "eth_src": (SetEthSrc, "eth_src"),
+    "eth_dst": (SetEthDst, "eth_dst"),
+    "ip_src": (SetIPSrc, "ip_src"),
+    "ip_dst": (SetIPDst, "ip_dst"),
+    "l4_src": (SetL4Src, "l4_src"),
+    "l4_dst": (SetL4Dst, "l4_dst"),
+    "ip_dscp": (SetDSCP, "ip_dscp"),
+    "vlan_vid": (SetVLAN, "vlan_vid"),
+}
+
+
+class Rule:
+    """One compiled rule: match → writes then outputs.
+
+    ``outputs is None`` marks a *pass* rule — meaningful only as an
+    intermediate stage inside ``>>``; at top level it degenerates to a
+    drop (a filter with nothing after it forwards nowhere).
+    """
+
+    __slots__ = ("match", "writes", "outputs")
+
+    def __init__(self, match: Match, writes: List[Action],
+                 outputs: Optional[List[Action]]) -> None:
+        self.match = match
+        self.writes = writes
+        self.outputs = outputs
+
+    @property
+    def is_pass(self) -> bool:
+        return self.outputs is None
+
+    def actions(self) -> List[Action]:
+        return list(self.writes) + list(self.outputs or [])
+
+    def __repr__(self) -> str:
+        tail = "PASS" if self.is_pass else repr(self.outputs)
+        return f"<Rule {self.match!r} -> {self.writes!r} {tail}>"
+
+
+class Policy:
+    """Base class; subclasses implement :meth:`rules`."""
+
+    def rules(self) -> List[Rule]:
+        raise NotImplementedError
+
+    @property
+    def is_terminal(self) -> bool:
+        """True when the policy decides where packets go."""
+        return True
+
+    def __rshift__(self, other: "Policy") -> "Policy":
+        return Seq(self, other)
+
+    def __or__(self, other: "Policy") -> "Policy":
+        return Par(self, other)
+
+
+class Filter(Policy):
+    def __init__(self, match: Match) -> None:
+        self.match = match
+
+    @property
+    def is_terminal(self) -> bool:
+        return False
+
+    def rules(self) -> List[Rule]:
+        out = [Rule(self.match, [], None)]
+        if not self.match.is_wildcard:
+            out.append(Rule(Match(), [], []))  # everything else drops
+        return out
+
+    def __repr__(self) -> str:
+        return f"filter({self.match!r})"
+
+
+class Mod(Policy):
+    def __init__(self, writes: Dict[str, object]) -> None:
+        unknown = set(writes) - set(_WRITERS)
+        if unknown:
+            raise PolicyError(
+                f"mod() cannot write field(s): {', '.join(sorted(unknown))}"
+            )
+        self.fields = dict(writes)
+
+    @property
+    def is_terminal(self) -> bool:
+        return False
+
+    def _actions(self) -> List[Action]:
+        actions = []
+        for name, value in self.fields.items():
+            ctor, _ = _WRITERS[name]
+            actions.append(ctor(value))
+        return actions
+
+    def rules(self) -> List[Rule]:
+        return [Rule(Match(), self._actions(), None)]
+
+    def __repr__(self) -> str:
+        return f"mod({self.fields!r})"
+
+
+class Terminal(Policy):
+    """fwd/punt/flood/drop."""
+
+    def __init__(self, outputs: List[Action], label: str) -> None:
+        self.outputs = outputs
+        self.label = label
+
+    def rules(self) -> List[Rule]:
+        return [Rule(Match(), [], list(self.outputs))]
+
+    def __repr__(self) -> str:
+        return self.label
+
+
+class Seq(Policy):
+    def __init__(self, left: Policy, right: Policy) -> None:
+        if left.is_terminal:
+            raise PolicyError(
+                f"left side of >> must be a filter/mod, got {left!r}"
+            )
+        self.left = left
+        self.right = right
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.right.is_terminal
+
+    def rules(self) -> List[Rule]:
+        result: List[Rule] = []
+        right_rules = self.right.rules()
+        for ra in self.left.rules():
+            if not ra.is_pass:
+                # A drop stage in the left pipeline stays a drop.
+                result.append(ra)
+                continue
+            for rb in right_rules:
+                pulled = _pullback(rb.match, ra.writes)
+                if pulled is None:
+                    continue
+                combined = ra.match.intersect(pulled)
+                if combined is None:
+                    continue
+                result.append(Rule(
+                    combined, ra.writes + rb.writes, rb.outputs
+                ))
+        return result
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} >> {self.right!r})"
+
+
+class Par(Policy):
+    def __init__(self, left: Policy, right: Policy) -> None:
+        self.left = left
+        self.right = right
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.left.is_terminal or self.right.is_terminal
+
+    def rules(self) -> List[Rule]:
+        left_rules = self.left.rules()
+        right_rules = self.right.rules()
+        result: List[Rule] = []
+        # Overlap region first: both behaviours apply.
+        for ra in left_rules:
+            for rb in right_rules:
+                both = ra.match.intersect(rb.match)
+                if both is None:
+                    continue
+                if ra.writes and rb.writes:
+                    raise PolicyError(
+                        "parallel branches both rewrite overlapping "
+                        f"traffic ({ra.match!r} ∩ {rb.match!r}); "
+                        "refactor with ifte()"
+                    )
+                if ra.is_pass and rb.is_pass:
+                    outputs: Optional[List[Action]] = None
+                elif ra.is_pass or rb.is_pass:
+                    outputs = list(ra.outputs or []) + list(rb.outputs or [])
+                    if not outputs:
+                        outputs = []
+                else:
+                    outputs = list(ra.outputs) + list(rb.outputs)
+                result.append(Rule(
+                    both, ra.writes + rb.writes, outputs
+                ))
+        result.extend(left_rules)
+        result.extend(right_rules)
+        return result
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} | {self.right!r})"
+
+
+class IfThenElse(Policy):
+    def __init__(self, predicate: Match, then_policy: Policy,
+                 else_policy: Policy) -> None:
+        self.predicate = predicate
+        self.then_policy = then_policy
+        self.else_policy = else_policy
+
+    @property
+    def is_terminal(self) -> bool:
+        return (self.then_policy.is_terminal
+                or self.else_policy.is_terminal)
+
+    def rules(self) -> List[Rule]:
+        result: List[Rule] = []
+        for rule in self.then_policy.rules():
+            narrowed = rule.match.intersect(self.predicate)
+            if narrowed is not None:
+                result.append(Rule(narrowed, rule.writes, rule.outputs))
+        # When no then-rule matched, the predicate region must not fall
+        # through into else with different semantics — but the priority
+        # trick already handles it: the then-branch emitted a rule for
+        # every (predicate ∩ then-match) region, and NetKAT filters end
+        # with an explicit drop, so coverage is complete.
+        result.extend(self.else_policy.rules())
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"ifte({self.predicate!r}, {self.then_policy!r}, "
+            f"{self.else_policy!r})"
+        )
+
+
+def _pullback(match: Match, writes: List[Action]) -> Optional[Match]:
+    """Adjust ``match`` for the writes that precede it in a pipeline.
+
+    If an earlier stage sets field f to v, a later constraint on f is
+    satisfied iff it accepts v — so the constraint is either removed
+    (already guaranteed) or the rule is unsatisfiable.
+    """
+    fields = match.fields
+    for action in writes:
+        for name, (ctor, field) in _WRITERS.items():
+            if not isinstance(action, ctor):
+                continue
+            if field not in fields:
+                continue
+            constraint = fields[field]
+            written = _written_value(action)
+            satisfied = (
+                constraint.contains(written)
+                if hasattr(constraint, "contains")
+                else constraint == written
+            )
+            if not satisfied:
+                return None
+            del fields[field]
+    return Match(**fields)
+
+
+def _written_value(action: Action):
+    for attr in ("mac", "ip", "port", "dscp", "vid"):
+        if hasattr(action, attr):
+            return getattr(action, attr)
+    raise PolicyError(f"cannot extract written value from {action!r}")
+
+
+# ----------------------------------------------------------------------
+# Public constructors
+# ----------------------------------------------------------------------
+def filter_(**fields) -> Policy:
+    """Pass packets matching ``fields``; drop everything else."""
+    return Filter(Match(**fields))
+
+
+def mod(**fields) -> Policy:
+    """Rewrite header fields, e.g. ``mod(ip_dst="10.0.0.9")``."""
+    return Mod(fields)
+
+
+def fwd(port: int) -> Policy:
+    """Send matching packets out a port."""
+    return Terminal([Output(port)], f"fwd({port})")
+
+
+def flood() -> Policy:
+    return Terminal([Output(PORT_FLOOD)], "flood()")
+
+
+def punt() -> Policy:
+    """Send matching packets to the controller."""
+    return Terminal([Output(PORT_CONTROLLER)], "punt()")
+
+
+def drop() -> Policy:
+    return Terminal([], "drop()")
+
+
+def ifte(predicate: Union[Match, Dict], then_policy: Policy,
+         else_policy: Policy) -> Policy:
+    if isinstance(predicate, dict):
+        predicate = Match(**predicate)
+    return IfThenElse(predicate, then_policy, else_policy)
+
+
+# ----------------------------------------------------------------------
+# Compilation and installation
+# ----------------------------------------------------------------------
+def compile_policy(policy: Policy) -> List[Tuple[Match, List[Action]]]:
+    """Compile to a first-match-wins ``[(match, actions), ...]`` list.
+
+    Shadowed rules (whose match is a subset of an earlier rule's) are
+    pruned; pass rules degenerate to drops at top level.
+    """
+    compiled: List[Tuple[Match, List[Action]]] = []
+    for rule in policy.rules():
+        if rule.is_pass or not rule.outputs:
+            # Terminal drop (or a dangling pass): rewrites on a packet
+            # that goes nowhere are unobservable, so strip them.
+            actions: List[Action] = []
+        else:
+            actions = rule.actions()
+        if any(rule.match.is_subset_of(seen) for seen, _ in compiled):
+            continue  # unreachable: shadowed by an earlier rule
+        compiled.append((rule.match, actions))
+    return compiled
+
+
+def install_policy(switch, policy: Policy, table_id: int = 0,
+                   base_priority: int = 10000) -> int:
+    """Push a compiled policy to a switch handle; returns rule count.
+
+    Rules get descending priorities from ``base_priority`` so dataplane
+    lookup order equals compile order.
+    """
+    compiled = compile_policy(policy)
+    if len(compiled) > base_priority:
+        raise PolicyError(
+            f"policy compiles to {len(compiled)} rules; does not fit "
+            f"under base priority {base_priority}"
+        )
+    for offset, (match, actions) in enumerate(compiled):
+        switch.add_flow(match, actions,
+                        priority=base_priority - offset,
+                        table_id=table_id)
+    return len(compiled)

@@ -1,0 +1,250 @@
+"""Priority flow tables with timeouts, counters, and capacity limits.
+
+Lookup semantics follow OpenFlow: the highest-priority matching entry wins;
+ties are broken by most-recent installation (deterministic in simulation).
+Entries may carry idle and hard timeouts; :meth:`FlowTable.expire` sweeps
+them, returning the evicted entries so the datapath can emit flow-removed
+notifications.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional
+
+from repro.dataplane.actions import Action
+from repro.dataplane.match import FlowKey, Match
+from repro.errors import TableFullError
+
+__all__ = ["FlowEntry", "FlowTable", "RemovalReason"]
+
+
+class RemovalReason:
+    """Why a flow entry left the table (mirrors OFPRR_*)."""
+
+    IDLE_TIMEOUT = "idle_timeout"
+    HARD_TIMEOUT = "hard_timeout"
+    DELETE = "delete"
+    EVICTION = "eviction"
+
+
+class FlowEntry:
+    """One match→actions rule resident in a flow table."""
+
+    __slots__ = (
+        "match",
+        "priority",
+        "actions",
+        "goto_table",
+        "idle_timeout",
+        "hard_timeout",
+        "cookie",
+        "flags",
+        "install_time",
+        "last_used",
+        "packet_count",
+        "byte_count",
+        "_seq",
+    )
+
+    def __init__(
+        self,
+        match: Match,
+        actions: Iterable[Action] = (),
+        priority: int = 0,
+        idle_timeout: float = 0.0,
+        hard_timeout: float = 0.0,
+        cookie: int = 0,
+        goto_table: Optional[int] = None,
+        flags: int = 0,
+    ) -> None:
+        self.match = match
+        self.actions: List[Action] = list(actions)
+        self.priority = priority
+        self.idle_timeout = idle_timeout
+        self.hard_timeout = hard_timeout
+        self.cookie = cookie
+        self.flags = flags
+        self.goto_table = goto_table
+        self.install_time = 0.0
+        self.last_used = 0.0
+        self.packet_count = 0
+        self.byte_count = 0
+        self._seq = 0
+
+    def touch(self, now: float, nbytes: int) -> None:
+        """Record a hit for counters and idle-timeout tracking."""
+        self.last_used = now
+        self.packet_count += 1
+        self.byte_count += nbytes
+
+    def is_expired(self, now: float) -> Optional[str]:
+        """The removal reason if this entry has timed out, else ``None``."""
+        if self.hard_timeout and now - self.install_time >= self.hard_timeout:
+            return RemovalReason.HARD_TIMEOUT
+        if self.idle_timeout and now - self.last_used >= self.idle_timeout:
+            return RemovalReason.IDLE_TIMEOUT
+        return None
+
+    @property
+    def age_fields(self) -> dict:
+        return {
+            "packets": self.packet_count,
+            "bytes": self.byte_count,
+            "installed": self.install_time,
+            "last_used": self.last_used,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<FlowEntry prio={self.priority} {self.match!r} "
+            f"actions={self.actions!r} hits={self.packet_count}>"
+        )
+
+
+class FlowTable:
+    """A single priority-ordered flow table.
+
+    Entries are kept sorted by ``(-priority, -seq)`` so lookup is a linear
+    scan that stops at the first hit — the same observable semantics as a
+    TCAM.  ``capacity`` bounds the table; insertion into a full table
+    raises :class:`TableFullError` unless an ``eviction_policy`` is set.
+    """
+
+    def __init__(
+        self,
+        table_id: int = 0,
+        capacity: int = 0,
+        eviction_policy: Optional[str] = None,
+    ) -> None:
+        self.table_id = table_id
+        self.capacity = capacity  # 0 means unbounded
+        self.eviction_policy = eviction_policy  # None or "lru"
+        self._entries: List[FlowEntry] = []
+        self._seq = 0
+        self.lookup_count = 0
+        self.matched_count = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, entry: FlowEntry, now: float = 0.0) -> List[FlowEntry]:
+        """Add ``entry``; an existing entry with identical (match, priority)
+        is replaced, per OpenFlow ADD semantics.
+
+        Returns any entries evicted to make room (empty in the common
+        case), so the datapath can notify the controller.
+        """
+        evicted: List[FlowEntry] = []
+        for i, existing in enumerate(self._entries):
+            if (existing.priority == entry.priority
+                    and existing.match == entry.match):
+                entry.install_time = now
+                entry.last_used = now
+                entry._seq = existing._seq
+                self._entries[i] = entry
+                return evicted
+        if self.capacity and len(self._entries) >= self.capacity:
+            if self.eviction_policy == "lru":
+                victim = min(self._entries, key=lambda e: (e.last_used, e._seq))
+                self._entries.remove(victim)
+                evicted.append(victim)
+            else:
+                raise TableFullError(self.table_id, self.capacity)
+        self._seq += 1
+        entry._seq = self._seq
+        entry.install_time = now
+        entry.last_used = now
+        self._entries.append(entry)
+        self._entries.sort(key=lambda e: (-e.priority, -e._seq))
+        return evicted
+
+    def delete(
+        self,
+        match: Optional[Match] = None,
+        priority: Optional[int] = None,
+        cookie: Optional[int] = None,
+        strict: bool = False,
+    ) -> List[FlowEntry]:
+        """Remove matching entries and return them.
+
+        Non-strict delete removes every entry whose match is a subset of
+        the given pattern (OpenFlow OFPFC_DELETE); strict delete requires
+        the exact (match, priority) pair.
+        """
+        removed: List[FlowEntry] = []
+        kept: List[FlowEntry] = []
+        for entry in self._entries:
+            doomed = True
+            if cookie is not None and entry.cookie != cookie:
+                doomed = False
+            if doomed and match is not None:
+                if strict:
+                    doomed = entry.match == match and entry.priority == priority
+                else:
+                    doomed = entry.match.is_subset_of(match)
+            elif doomed and strict and priority is not None:
+                doomed = entry.priority == priority
+            if doomed:
+                removed.append(entry)
+            else:
+                kept.append(entry)
+        self._entries = kept
+        return removed
+
+    def expire(self, now: float) -> List[tuple]:
+        """Sweep timeouts; returns ``[(entry, reason), ...]`` for evictions."""
+        expired: List[tuple] = []
+        kept: List[FlowEntry] = []
+        for entry in self._entries:
+            reason = entry.is_expired(now)
+            if reason is None:
+                kept.append(entry)
+            else:
+                expired.append((entry, reason))
+        if expired:
+            self._entries = kept
+        return expired
+
+    def clear(self) -> int:
+        count = len(self._entries)
+        self._entries.clear()
+        return count
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, key: FlowKey) -> Optional[FlowEntry]:
+        """The highest-priority entry matching ``key``, or ``None``."""
+        self.lookup_count += 1
+        for entry in self._entries:
+            if entry.match.matches(key):
+                self.matched_count += 1
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[FlowEntry]:
+        return iter(self._entries)
+
+    def entries(
+        self, predicate: Optional[Callable[[FlowEntry], bool]] = None
+    ) -> List[FlowEntry]:
+        if predicate is None:
+            return list(self._entries)
+        return [e for e in self._entries if predicate(e)]
+
+    @property
+    def occupancy(self) -> float:
+        """Fill fraction in [0, 1]; 0 for unbounded tables when empty."""
+        if not self.capacity:
+            return 0.0 if not self._entries else float("nan")
+        return len(self._entries) / self.capacity
+
+    def __repr__(self) -> str:
+        cap = self.capacity or "∞"
+        return f"<FlowTable id={self.table_id} {len(self._entries)}/{cap}>"

@@ -1,0 +1,122 @@
+"""Token-bucket meters for rate limiting (the slicing app's enforcement).
+
+A meter owns a token bucket refilled at ``rate_bps``; packets that exceed
+the bucket are dropped (the only band type implemented — DSCP-remark would
+slot in the same way).  Meters are what make slice isolation (benchmark
+E10) enforceable in the dataplane rather than by controller politeness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import DataplaneError
+
+__all__ = ["MeterEntry", "MeterTable"]
+
+
+class MeterEntry:
+    """A single-band drop meter implemented as a token bucket.
+
+    Parameters
+    ----------
+    rate_bps:
+        Sustained rate in bits per second.
+    burst_bytes:
+        Bucket depth; defaults to 1/10 s worth of tokens (a common
+        hardware default) with a floor of one 1500-byte MTU.
+    """
+
+    __slots__ = (
+        "meter_id",
+        "rate_bps",
+        "burst_bytes",
+        "_tokens",
+        "_last_refill",
+        "passed_packets",
+        "passed_bytes",
+        "dropped_packets",
+        "dropped_bytes",
+    )
+
+    def __init__(
+        self,
+        meter_id: int,
+        rate_bps: float,
+        burst_bytes: Optional[int] = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise DataplaneError(f"meter rate must be positive: {rate_bps}")
+        self.meter_id = meter_id
+        self.rate_bps = rate_bps
+        if burst_bytes is None:
+            burst_bytes = max(int(rate_bps / 8 / 10), 1500)
+        self.burst_bytes = burst_bytes
+        self._tokens = float(burst_bytes)
+        self._last_refill = 0.0
+        self.passed_packets = 0
+        self.passed_bytes = 0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+
+    def allow(self, nbytes: int, now: float) -> bool:
+        """True when a packet of ``nbytes`` conforms at time ``now``."""
+        elapsed = max(now - self._last_refill, 0.0)
+        self._last_refill = now
+        self._tokens = min(
+            self.burst_bytes, self._tokens + elapsed * self.rate_bps / 8
+        )
+        if self._tokens >= nbytes:
+            self._tokens -= nbytes
+            self.passed_packets += 1
+            self.passed_bytes += nbytes
+            return True
+        self.dropped_packets += 1
+        self.dropped_bytes += nbytes
+        return False
+
+    @property
+    def drop_rate(self) -> float:
+        total = self.passed_packets + self.dropped_packets
+        return self.dropped_packets / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<Meter id={self.meter_id} rate={self.rate_bps:.0f}bps "
+            f"pass={self.passed_packets} drop={self.dropped_packets}>"
+        )
+
+
+class MeterTable:
+    """The switch's meter id → entry mapping."""
+
+    def __init__(self) -> None:
+        self._meters: Dict[int, MeterEntry] = {}
+
+    def add(self, entry: MeterEntry) -> None:
+        if entry.meter_id in self._meters:
+            raise DataplaneError(f"meter {entry.meter_id} already exists")
+        self._meters[entry.meter_id] = entry
+
+    def modify(self, entry: MeterEntry) -> None:
+        if entry.meter_id not in self._meters:
+            raise DataplaneError(f"meter {entry.meter_id} does not exist")
+        self._meters[entry.meter_id] = entry
+
+    def delete(self, meter_id: int) -> Optional[MeterEntry]:
+        return self._meters.pop(meter_id, None)
+
+    def get(self, meter_id: int) -> MeterEntry:
+        entry = self._meters.get(meter_id)
+        if entry is None:
+            raise DataplaneError(f"no such meter: {meter_id}")
+        return entry
+
+    def __contains__(self, meter_id: int) -> bool:
+        return meter_id in self._meters
+
+    def __len__(self) -> int:
+        return len(self._meters)
+
+    def __iter__(self):
+        return iter(self._meters.values())

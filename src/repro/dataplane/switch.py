@@ -1,0 +1,438 @@
+"""The switch datapath: ports plus a multi-table match-action pipeline.
+
+A :class:`Datapath` is deliberately controller-agnostic — it exposes plain
+Python callbacks (``on_packet_in``, ``on_flow_removed``, ``on_port_status``)
+and a ``transmit`` hook, and knows nothing about the southbound wire
+protocol.  The ZOF agent (:mod:`repro.southbound.agent`) adapts those
+callbacks onto the control channel; the emulator
+(:mod:`repro.netem.network`) wires ``transmit`` to links.  This strict
+layering is design principle #1 in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.dataplane.actions import (
+    PORT_ALL,
+    PORT_CONTROLLER,
+    PORT_FLOOD,
+    PORT_IN_PORT,
+    PORT_TABLE,
+    Action,
+    TTLExpired,
+    apply_actions,
+)
+from repro.dataplane.flowtable import FlowEntry, FlowTable, RemovalReason
+from repro.dataplane.group import GroupTable
+from repro.dataplane.match import FlowKey, Match
+from repro.dataplane.meter import MeterTable
+from repro.errors import DataplaneError
+from repro.packet import MACAddress, Packet
+from repro.sim import Simulator
+
+__all__ = ["Datapath", "Port", "PacketInReason", "TableMissBehaviour"]
+
+#: Recursion guard for group→group action chains.
+_MAX_GROUP_DEPTH = 4
+
+
+class PacketInReason:
+    """Why a packet was punted to the controller."""
+
+    NO_MATCH = "no_match"
+    ACTION = "action"
+    TTL = "ttl_expired"
+
+
+class TableMissBehaviour:
+    """What a table does with a packet no entry matches."""
+
+    CONTROLLER = "controller"
+    DROP = "drop"
+    CONTINUE = "continue"  # fall through to the next table
+
+
+class Port:
+    """A switch port: identity, liveness, and counters."""
+
+    __slots__ = (
+        "number",
+        "mac",
+        "up",
+        "no_flood",
+        "rx_packets",
+        "rx_bytes",
+        "tx_packets",
+        "tx_bytes",
+        "tx_drops",
+        "name",
+    )
+
+    def __init__(self, number: int, mac: MACAddress, name: str = "") -> None:
+        self.number = number
+        self.mac = mac
+        self.name = name or f"port{number}"
+        self.up = True
+        #: When set, FLOOD/ALL skip this port (OpenFlow's NO_FLOOD bit);
+        #: used by the spanning-tree baseline to break loops.
+        self.no_flood = False
+        self.rx_packets = 0
+        self.rx_bytes = 0
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.tx_drops = 0
+
+    def stats(self) -> dict:
+        return {
+            "port": self.number,
+            "rx_packets": self.rx_packets,
+            "rx_bytes": self.rx_bytes,
+            "tx_packets": self.tx_packets,
+            "tx_bytes": self.tx_bytes,
+            "tx_drops": self.tx_drops,
+        }
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "down"
+        return f"<Port {self.number} ({self.name}) {state}>"
+
+
+class Datapath:
+    """A multi-table match-action switch.
+
+    Parameters
+    ----------
+    dpid:
+        Datapath id, unique in the network.
+    sim:
+        The simulation kernel (for timestamps and the expiry sweeper).
+    num_tables:
+        Pipeline depth; packets enter at table 0.
+    table_capacity:
+        Per-table entry limit (0 = unbounded).
+    miss_behaviour:
+        Default handling for table misses.  Reactive controllers want
+        ``CONTROLLER``; proactive deployments often prefer ``DROP``.
+    """
+
+    def __init__(
+        self,
+        dpid: int,
+        sim: Simulator,
+        num_tables: int = 4,
+        table_capacity: int = 0,
+        eviction_policy: Optional[str] = None,
+        miss_behaviour: str = TableMissBehaviour.CONTROLLER,
+        expiry_interval: float = 1.0,
+    ) -> None:
+        if num_tables < 1:
+            raise DataplaneError("a datapath needs at least one table")
+        self.dpid = dpid
+        self.sim = sim
+        self.tables: List[FlowTable] = [
+            FlowTable(i, capacity=table_capacity,
+                      eviction_policy=eviction_policy)
+            for i in range(num_tables)
+        ]
+        self.groups = GroupTable()
+        self.meters = MeterTable()
+        self.ports: Dict[int, Port] = {}
+        self.miss_behaviour = miss_behaviour
+
+        # Hooks — the emulator sets transmit; the southbound agent (or a
+        # test) sets the on_* callbacks.  Defaults are safe no-ops.
+        self.transmit: Callable[[int, Packet], None] = lambda port, pkt: None
+        self.on_packet_in: Optional[
+            Callable[[Packet, int, str], None]
+        ] = None
+        self.on_flow_removed: Optional[
+            Callable[[int, FlowEntry, str], None]
+        ] = None
+        self.on_port_status: Optional[Callable[[Port, str], None]] = None
+
+        # Aggregate counters.
+        self.packets_received = 0
+        self.packets_forwarded = 0
+        self.packets_dropped = 0
+        self.packets_to_controller = 0
+
+        self._expiry_interval = expiry_interval
+        self._sweep_scheduled = False
+        self._shutdown = False
+
+    # ------------------------------------------------------------------
+    # Port management
+    # ------------------------------------------------------------------
+    def add_port(self, number: int, mac: Optional[MACAddress] = None,
+                 name: str = "") -> Port:
+        if number in self.ports:
+            raise DataplaneError(f"dpid {self.dpid}: port {number} exists")
+        if number <= 0 or number >= PORT_IN_PORT:
+            raise DataplaneError(f"physical port number invalid: {number}")
+        if mac is None:
+            mac = MACAddress.local((self.dpid << 16) | number)
+        port = Port(number, mac, name=name)
+        self.ports[number] = port
+        return port
+
+    def port(self, number: int) -> Port:
+        port = self.ports.get(number)
+        if port is None:
+            raise DataplaneError(f"dpid {self.dpid}: no port {number}")
+        return port
+
+    def set_port_state(self, number: int, up: bool) -> None:
+        """Administratively raise/lower a port, notifying the agent."""
+        port = self.port(number)
+        if port.up == up:
+            return
+        port.up = up
+        if self.on_port_status is not None:
+            reason = "up" if up else "down"
+            self.on_port_status(port, reason)
+
+    def port_is_live(self, number: int) -> bool:
+        port = self.ports.get(number)
+        return port is not None and port.up
+
+    # ------------------------------------------------------------------
+    # Table/group/meter programming (called by the southbound agent)
+    # ------------------------------------------------------------------
+    def table(self, table_id: int) -> FlowTable:
+        if not 0 <= table_id < len(self.tables):
+            raise DataplaneError(
+                f"dpid {self.dpid}: no table {table_id} "
+                f"(pipeline depth {len(self.tables)})"
+            )
+        return self.tables[table_id]
+
+    def install_flow(self, entry: FlowEntry, table_id: int = 0) -> None:
+        evicted = self.table(table_id).insert(entry, now=self.sim.now)
+        for victim in evicted:
+            self._notify_removed(table_id, victim, RemovalReason.EVICTION)
+        if entry.idle_timeout or entry.hard_timeout:
+            self._ensure_sweep()
+
+    def remove_flows(
+        self,
+        table_id: int = 0,
+        match: Optional[Match] = None,
+        priority: Optional[int] = None,
+        cookie: Optional[int] = None,
+        strict: bool = False,
+    ) -> int:
+        removed = self.table(table_id).delete(
+            match=match, priority=priority, cookie=cookie, strict=strict
+        )
+        for entry in removed:
+            self._notify_removed(table_id, entry, RemovalReason.DELETE)
+        return len(removed)
+
+    def flow_count(self) -> int:
+        return sum(len(t) for t in self.tables)
+
+    # ------------------------------------------------------------------
+    # The pipeline
+    # ------------------------------------------------------------------
+    def inject(self, packet: Packet, in_port: int) -> None:
+        """A packet arrived on ``in_port``; run it through the pipeline."""
+        port = self.ports.get(in_port)
+        if port is None or not port.up:
+            self.packets_dropped += 1
+            return
+        size = len(packet)
+        port.rx_packets += 1
+        port.rx_bytes += size
+        self.packets_received += 1
+        self._run_pipeline(packet, in_port, table_id=0)
+
+    def _run_pipeline(self, packet: Packet, in_port: int,
+                      table_id: int) -> None:
+        size = len(packet)
+        while True:
+            key = FlowKey.from_packet(packet, in_port)
+            entry = self.tables[table_id].lookup(key)
+            if entry is None:
+                self._handle_miss(packet, in_port, table_id)
+                return
+            entry.touch(self.sim.now, size)
+            packet = self._execute(entry.actions, packet, in_port, key,
+                                   has_goto=entry.goto_table is not None)
+            if packet is None:
+                return  # metered out or TTL-expired
+            if entry.goto_table is None:
+                return
+            if entry.goto_table <= table_id:
+                raise DataplaneError(
+                    f"goto_table must move forward "
+                    f"({table_id} -> {entry.goto_table})"
+                )
+            table_id = entry.goto_table
+
+    def _handle_miss(self, packet: Packet, in_port: int,
+                     table_id: int) -> None:
+        behaviour = self.miss_behaviour
+        if behaviour == TableMissBehaviour.CONTINUE:
+            if table_id + 1 < len(self.tables):
+                self._run_pipeline(packet, in_port, table_id + 1)
+            else:
+                self.packets_dropped += 1
+            return
+        if behaviour == TableMissBehaviour.CONTROLLER:
+            self._punt(packet, in_port, PacketInReason.NO_MATCH)
+            return
+        self.packets_dropped += 1
+
+    def _execute(
+        self,
+        actions: Iterable[Action],
+        packet: Packet,
+        in_port: int,
+        key: FlowKey,
+        depth: int = 0,
+        has_goto: bool = False,
+    ) -> Optional[Packet]:
+        """Apply an action list, resolving outputs/groups/meters.
+
+        Returns the rewritten packet for goto_table continuation, or
+        ``None`` when the packet died here (meter drop, TTL expiry).
+        """
+        try:
+            rewritten, out_ports, group_ids, meter_ids = apply_actions(
+                list(actions), packet, in_port
+            )
+        except TTLExpired:
+            self._punt(packet, in_port, PacketInReason.TTL)
+            return None
+        size = len(rewritten)
+        for meter_id in meter_ids:
+            if not self.meters.get(meter_id).allow(size, self.sim.now):
+                self.packets_dropped += 1
+                return None
+        for port_no in out_ports:
+            self._emit(rewritten, in_port, port_no)
+        for group_id in group_ids:
+            self._run_group(rewritten, in_port, key, group_id, depth)
+        if not out_ports and not group_ids and not meter_ids and not has_goto:
+            # Empty action list with no continuation = explicit drop.
+            self.packets_dropped += 1
+        return rewritten
+
+    def _run_group(self, packet: Packet, in_port: int, key: FlowKey,
+                   group_id: int, depth: int) -> None:
+        if depth >= _MAX_GROUP_DEPTH:
+            raise DataplaneError(
+                f"group recursion deeper than {_MAX_GROUP_DEPTH}"
+            )
+        group = self.groups.get(group_id)
+        buckets = group.select_buckets(key, self.port_is_live)
+        if not buckets:
+            self.packets_dropped += 1
+            return
+        for bucket in buckets:
+            self._execute(bucket.actions, packet, in_port, key, depth + 1)
+
+    def _emit(self, packet: Packet, in_port: int, port_no: int) -> None:
+        if port_no == PORT_CONTROLLER:
+            self._punt(packet, in_port, PacketInReason.ACTION)
+            return
+        if port_no == PORT_TABLE:
+            self._run_pipeline(packet, in_port, table_id=0)
+            return
+        if port_no == PORT_IN_PORT:
+            self._transmit_one(packet, in_port)
+            return
+        if port_no in (PORT_FLOOD, PORT_ALL):
+            for port in self.ports.values():
+                if port.number == in_port and port_no == PORT_FLOOD:
+                    continue
+                if not port.up or (port.no_flood and port_no == PORT_FLOOD):
+                    continue
+                self._transmit_one(packet, port.number)
+            return
+        if port_no == in_port:
+            # Per the OpenFlow spec, a packet is never emitted on its
+            # ingress port unless IN_PORT is named explicitly.  Without
+            # this guard a dst-rule whose learned port equals the
+            # ingress hairpins the frame and poisons upstream learning.
+            self.packets_dropped += 1
+            return
+        self._transmit_one(packet, port_no)
+
+    def _transmit_one(self, packet: Packet, port_no: int) -> None:
+        port = self.ports.get(port_no)
+        if port is None or not port.up:
+            self.packets_dropped += 1
+            if port is not None:
+                port.tx_drops += 1
+            return
+        size = len(packet)
+        port.tx_packets += 1
+        port.tx_bytes += size
+        self.packets_forwarded += 1
+        self.transmit(port_no, packet.copy())
+
+    def send_packet_out(self, packet: Packet, actions: Iterable[Action],
+                        in_port: int = 0) -> None:
+        """Controller-originated transmission (ZOF packet-out)."""
+        key = FlowKey.from_packet(packet, in_port)
+        self._execute(actions, packet, in_port, key)
+
+    def _punt(self, packet: Packet, in_port: int, reason: str) -> None:
+        self.packets_to_controller += 1
+        if self.on_packet_in is not None:
+            self.on_packet_in(packet.copy(), in_port, reason)
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+    # ------------------------------------------------------------------
+    def _ensure_sweep(self) -> None:
+        """Arm the expiry sweeper if it is not already pending.
+
+        The sweeper is demand-driven: it only stays scheduled while some
+        entry carries a timeout, so an idle datapath leaves the event
+        queue empty (letting ``run_until_idle`` terminate).
+        """
+        if self._sweep_scheduled or self._shutdown:
+            return
+        self._sweep_scheduled = True
+        self.sim.schedule(self._expiry_interval, self._sweep)
+
+    def _sweep(self) -> None:
+        self._sweep_scheduled = False
+        if self._shutdown:
+            return
+        rearm = False
+        for table in self.tables:
+            for entry, reason in table.expire(self.sim.now):
+                self._notify_removed(table.table_id, entry, reason)
+            if any(e.idle_timeout or e.hard_timeout for e in table):
+                rearm = True
+        if rearm:
+            self._ensure_sweep()
+
+    def _notify_removed(self, table_id: int, entry: FlowEntry,
+                        reason: str) -> None:
+        if self.on_flow_removed is not None:
+            self.on_flow_removed(table_id, entry, reason)
+
+    def shutdown(self) -> None:
+        """Stop periodic work; the datapath becomes inert."""
+        self._shutdown = True
+
+    def stats(self) -> dict:
+        return {
+            "dpid": self.dpid,
+            "received": self.packets_received,
+            "forwarded": self.packets_forwarded,
+            "dropped": self.packets_dropped,
+            "to_controller": self.packets_to_controller,
+            "flows": self.flow_count(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Datapath dpid={self.dpid} ports={len(self.ports)} "
+            f"flows={self.flow_count()}>"
+        )

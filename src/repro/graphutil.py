@@ -1,0 +1,44 @@
+"""Graph helpers shared by control planes (centralised and distributed).
+
+The flagship function is :func:`canonical_tree_edges`: a spanning tree
+computed so that *any* two parties with the same edge set derive the same
+tree, regardless of the order their adjacency databases were populated.
+Distributed tree-flooding is only loop-free if every switch agrees on the
+tree — a plain ``networkx.bfs_tree`` depends on adjacency insertion order
+and silently breaks that agreement.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import FrozenSet, Set
+
+import networkx as nx
+
+__all__ = ["canonical_tree_edges"]
+
+
+def canonical_tree_edges(graph: nx.Graph) -> Set[FrozenSet]:
+    """A BFS spanning tree rooted at the minimum node id.
+
+    Neighbours are visited in sorted order, so the result is a pure
+    function of the edge set.  Returns edges as ``frozenset({u, v})``;
+    disconnected components each get their own tree (rooted at their
+    minimum node).
+    """
+    edges: Set[FrozenSet] = set()
+    seen: Set = set()
+    for start in sorted(graph.nodes):
+        if start in seen:
+            continue
+        seen.add(start)
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for neighbour in sorted(graph.neighbors(node)):
+                if neighbour in seen:
+                    continue
+                seen.add(neighbour)
+                edges.add(frozenset((node, neighbour)))
+                queue.append(neighbour)
+    return edges

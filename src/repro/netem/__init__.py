@@ -1,0 +1,40 @@
+"""Network emulation: links, hosts, topologies, and workloads."""
+
+from repro.netem.host import Host, PingSession
+from repro.netem.link import Attachment, Link, dscp_classifier
+from repro.netem.network import Network
+from repro.netem.reliable import ReliableReceiver, ReliableSender
+from repro.netem.tap import Tap, TapRecord
+from repro.netem.topology import LinkSpec, NodeSpec, Topology
+from repro.netem.traffic import (
+    FLOW_HEADER,
+    CBRStream,
+    FlowGenerator,
+    FlowRecord,
+    FlowSink,
+    RequestLoad,
+    pareto_sizes,
+)
+
+__all__ = [
+    "Attachment",
+    "CBRStream",
+    "FLOW_HEADER",
+    "FlowGenerator",
+    "FlowRecord",
+    "FlowSink",
+    "Host",
+    "Link",
+    "LinkSpec",
+    "Network",
+    "NodeSpec",
+    "PingSession",
+    "ReliableReceiver",
+    "ReliableSender",
+    "RequestLoad",
+    "Tap",
+    "TapRecord",
+    "Topology",
+    "dscp_classifier",
+    "pareto_sizes",
+]

@@ -1,0 +1,135 @@
+"""Link taps: passive packet capture on emulated links.
+
+A :class:`Tap` wraps both delivery callbacks of a link and records every
+packet that crosses it (with timestamps and direction), optionally
+filtered.  It is the tcpdump of the platform — tests assert on captures
+and the examples use it to show what actually went over the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.netem.link import Link
+from repro.packet import Packet
+
+__all__ = ["Tap", "TapRecord"]
+
+
+class TapRecord:
+    """One captured packet."""
+
+    __slots__ = ("time", "src_node", "dst_node", "packet")
+
+    def __init__(self, time: float, src_node: str, dst_node: str,
+                 packet: Packet) -> None:
+        self.time = time
+        self.src_node = src_node
+        self.dst_node = dst_node
+        self.packet = packet
+
+    def __repr__(self) -> str:
+        return (
+            f"<TapRecord t={self.time:.6f} {self.src_node}->"
+            f"{self.dst_node} {self.packet.summary()}>"
+        )
+
+
+class Tap:
+    """Capture traffic crossing one link.
+
+    Parameters
+    ----------
+    link:
+        The link to observe.
+    predicate:
+        Only packets for which this returns True are recorded
+        (default: everything).
+    keep_packets:
+        Store full packet objects (default) or just metadata with
+        ``packet=None`` to keep big captures cheap.
+    max_records:
+        Stop recording beyond this many entries (0 = unbounded).
+    """
+
+    def __init__(self, link: Link,
+                 predicate: Optional[Callable[[Packet], bool]] = None,
+                 keep_packets: bool = True,
+                 max_records: int = 0) -> None:
+        self.link = link
+        self.predicate = predicate
+        self.keep_packets = keep_packets
+        self.max_records = max_records
+        self.records: List[TapRecord] = []
+        self.dropped_by_filter = 0
+        self._sim = link.sim
+        self._original_a = link.a.deliver
+        self._original_b = link.b.deliver
+        self._attached = True
+        link.a.deliver = self._wrap(link.b.node_name, link.a.node_name,
+                                    self._original_a)
+        link.b.deliver = self._wrap(link.a.node_name, link.b.node_name,
+                                    self._original_b)
+
+    def _wrap(self, src_node: str, dst_node: str,
+              original: Callable[[Packet], None]):
+        def deliver(packet: Packet) -> None:
+            self._record(src_node, dst_node, packet)
+            original(packet)
+
+        return deliver
+
+    def _record(self, src_node: str, dst_node: str,
+                packet: Packet) -> None:
+        if not self._attached:
+            return
+        if self.max_records and len(self.records) >= self.max_records:
+            return
+        if self.predicate is not None and not self.predicate(packet):
+            self.dropped_by_filter += 1
+            return
+        self.records.append(TapRecord(
+            self._sim.now, src_node, dst_node,
+            packet if self.keep_packets else None,
+        ))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def between(self, start: float, end: float) -> List[TapRecord]:
+        return [r for r in self.records if start <= r.time < end]
+
+    def count(self, predicate: Callable[[TapRecord], bool]) -> int:
+        return sum(1 for r in self.records if predicate(r))
+
+    def summary_lines(self, limit: int = 20) -> List[str]:
+        """Human-readable capture, tcpdump-style."""
+        lines = []
+        for record in self.records[:limit]:
+            what = (record.packet.summary() if record.packet is not None
+                    else "(metadata only)")
+            lines.append(
+                f"{record.time:10.6f}  {record.src_node} > "
+                f"{record.dst_node}  {what}"
+            )
+        if len(self.records) > limit:
+            lines.append(f"... {len(self.records) - limit} more")
+        return lines
+
+    def detach(self) -> None:
+        """Stop capturing and restore the link's callbacks."""
+        if not self._attached:
+            return
+        self.link.a.deliver = self._original_a
+        self.link.b.deliver = self._original_b
+        self._attached = False
+
+    def __repr__(self) -> str:
+        state = "live" if self._attached else "detached"
+        return f"<Tap on {self.link!r} {state}, {len(self.records)} pkts>"

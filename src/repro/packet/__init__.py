@@ -1,0 +1,47 @@
+"""Packet library: address types, protocol headers, and byte-exact codecs.
+
+Importing this package registers every header's demux bindings (EtherType
+and IP protocol registries), so ``Packet.decode`` works on any buffer built
+from these headers.
+"""
+
+from repro.packet.addresses import (
+    BROADCAST_MAC,
+    IPv4Address,
+    IPv4Network,
+    MACAddress,
+)
+from repro.packet.arp import ARP
+from repro.packet.base import Header, Packet, Raw
+from repro.packet.checksum import internet_checksum, pseudo_header
+from repro.packet.ethernet import VLAN, Ethernet, EtherType
+from repro.packet.icmp import ICMP, ICMPType
+from repro.packet.ipv4 import IPProto, IPv4
+from repro.packet.lldp import LLDP, LLDP_MULTICAST
+from repro.packet.tcp import TCP, TCPFlags
+from repro.packet.udp import UDP
+
+__all__ = [
+    "ARP",
+    "BROADCAST_MAC",
+    "Ethernet",
+    "EtherType",
+    "Header",
+    "ICMP",
+    "ICMPType",
+    "IPProto",
+    "IPv4",
+    "IPv4Address",
+    "IPv4Network",
+    "LLDP",
+    "LLDP_MULTICAST",
+    "MACAddress",
+    "Packet",
+    "Raw",
+    "TCP",
+    "TCPFlags",
+    "UDP",
+    "VLAN",
+    "internet_checksum",
+    "pseudo_header",
+]

@@ -1,0 +1,85 @@
+"""ARP (RFC 826) for Ethernet/IPv4."""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple, Union
+
+from repro.errors import DecodeError
+from repro.packet.addresses import IPv4Address, MACAddress
+from repro.packet.base import Header
+from repro.packet.ethernet import EtherType, register_ethertype
+
+__all__ = ["ARP"]
+
+
+class ARP(Header):
+    """An ARP request or reply for IPv4-over-Ethernet.
+
+    ``opcode`` is 1 for a request, 2 for a reply; the :attr:`REQUEST` and
+    :attr:`REPLY` constants are provided for readability.
+    """
+
+    name = "arp"
+    REQUEST = 1
+    REPLY = 2
+    _FMT = struct.Struct("!HHBBH6s4s6s4s")
+
+    def __init__(
+        self,
+        opcode: int = REQUEST,
+        sender_mac: Union[str, MACAddress] = "00:00:00:00:00:00",
+        sender_ip: Union[str, IPv4Address] = "0.0.0.0",
+        target_mac: Union[str, MACAddress] = "00:00:00:00:00:00",
+        target_ip: Union[str, IPv4Address] = "0.0.0.0",
+    ) -> None:
+        self.opcode = opcode
+        self.sender_mac = MACAddress(sender_mac)
+        self.sender_ip = IPv4Address(sender_ip)
+        self.target_mac = MACAddress(target_mac)
+        self.target_ip = IPv4Address(target_ip)
+
+    @property
+    def is_request(self) -> bool:
+        return self.opcode == self.REQUEST
+
+    @property
+    def is_reply(self) -> bool:
+        return self.opcode == self.REPLY
+
+    def encode(self, following: bytes) -> bytes:
+        return (
+            self._FMT.pack(
+                1,  # hardware type: Ethernet
+                EtherType.IPV4,
+                6,  # hardware address length
+                4,  # protocol address length
+                self.opcode,
+                self.sender_mac.packed(),
+                self.sender_ip.packed(),
+                self.target_mac.packed(),
+                self.target_ip.packed(),
+            )
+            + following
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["ARP", int]:
+        if len(data) < cls._FMT.size:
+            raise DecodeError(
+                f"ARP needs {cls._FMT.size} bytes, got {len(data)}"
+            )
+        (htype, ptype, hlen, plen, opcode,
+         smac, sip, tmac, tip) = cls._FMT.unpack_from(data)
+        if (htype, ptype, hlen, plen) != (1, EtherType.IPV4, 6, 4):
+            raise DecodeError(
+                f"unsupported ARP variant htype={htype} ptype={ptype:#x}"
+            )
+        return (
+            cls(opcode, MACAddress(smac), IPv4Address(sip),
+                MACAddress(tmac), IPv4Address(tip)),
+            cls._FMT.size,
+        )
+
+
+register_ethertype(EtherType.ARP, ARP)

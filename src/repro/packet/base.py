@@ -1,0 +1,218 @@
+"""Header/packet framework: typed headers stacked into packets.
+
+A :class:`Packet` is an ordered stack of :class:`Header` objects plus an
+opaque payload.  Headers compose with the ``/`` operator in the style of
+scapy::
+
+    pkt = (Ethernet(src=h1.mac, dst=h2.mac)
+           / IPv4(src=h1.ip, dst=h2.ip)
+           / UDP(src_port=1234, dst_port=53)
+           / b"payload")
+
+On :meth:`Packet.encode` each header gets the chance to fix up linkage
+fields (ethertype, IP protocol number, lengths, checksums) from its
+successor, so callers rarely need to set them by hand.  :meth:`Packet.decode`
+reverses the process byte-exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple, Type, TypeVar, Union
+
+from repro.errors import DecodeError, PacketError
+
+__all__ = ["Header", "Packet", "Raw"]
+
+H = TypeVar("H", bound="Header")
+
+
+class Header:
+    """Base class for every protocol header.
+
+    Subclasses implement:
+
+    * :meth:`encode` — serialise to bytes, given the already-encoded bytes
+      of everything that follows (for length/checksum computation).
+    * :meth:`decode` — parse from a buffer, returning the header and the
+      number of bytes consumed.
+    * :meth:`payload_class` — which header type follows, according to this
+      header's demux field (ethertype, protocol number, ...); ``None`` means
+      the rest of the buffer is raw payload.
+    * :meth:`link_to` — fix up this header's demux field to point at a
+      successor header before encoding.
+    """
+
+    name = "header"
+
+    def encode(self, following: bytes) -> bytes:
+        raise NotImplementedError
+
+    @classmethod
+    def decode(cls: Type[H], data: bytes) -> Tuple[H, int]:
+        raise NotImplementedError
+
+    def payload_class(self) -> Optional[Type["Header"]]:
+        return None
+
+    def link_to(self, successor: Optional["Header"]) -> None:
+        """Adjust demux fields for the header that follows; default no-op."""
+
+    def __truediv__(self, other: Union["Header", bytes, "Packet"]) -> "Packet":
+        return Packet([self]) / other
+
+    def fields(self) -> dict:
+        """A name→value mapping of the public fields, for repr/tests."""
+        return {
+            k: v
+            for k, v in vars(self).items()
+            if not k.startswith("_")
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.fields() == other.fields()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.fields().items())
+        return f"{type(self).__name__}({inner})"
+
+
+class Raw(Header):
+    """An opaque byte payload presented as a header for uniform stacking."""
+
+    name = "raw"
+
+    def __init__(self, data: bytes = b"") -> None:
+        self.data = bytes(data)
+
+    def encode(self, following: bytes) -> bytes:
+        return self.data + following
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["Raw", int]:
+        return cls(data), len(data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+class Packet:
+    """An ordered stack of headers plus trailing payload bytes."""
+
+    __slots__ = ("headers",)
+
+    def __init__(self, headers: Optional[Sequence[Header]] = None) -> None:
+        self.headers: List[Header] = list(headers or [])
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def __truediv__(self, other: Union[Header, bytes, "Packet"]) -> "Packet":
+        if isinstance(other, Packet):
+            return Packet(self.headers + other.headers)
+        if isinstance(other, Header):
+            return Packet(self.headers + [other])
+        if isinstance(other, (bytes, bytearray)):
+            return Packet(self.headers + [Raw(bytes(other))])
+        raise PacketError(f"cannot stack {type(other).__name__} onto a packet")
+
+    def copy(self) -> "Packet":
+        """A deep-enough copy: headers are re-decoded from the wire bytes.
+
+        Re-encoding guarantees the copy shares no mutable state with the
+        original, which matters when a switch floods one packet out many
+        ports and an app rewrites one of the copies.
+        """
+        return Packet.decode(self.encode())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def get(self, header_type: Type[H]) -> Optional[H]:
+        """The first header of the given type, or ``None``."""
+        for header in self.headers:
+            if isinstance(header, header_type):
+                return header
+        return None
+
+    def __contains__(self, header_type: type) -> bool:
+        return self.get(header_type) is not None
+
+    def __getitem__(self, header_type: Type[H]) -> H:
+        header = self.get(header_type)
+        if header is None:
+            raise KeyError(header_type.__name__)
+        return header
+
+    def __iter__(self) -> Iterator[Header]:
+        return iter(self.headers)
+
+    @property
+    def payload(self) -> bytes:
+        """The bytes of the trailing :class:`Raw` header, if any."""
+        raw = self.get(Raw)
+        return raw.data if raw is not None else b""
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def encode(self) -> bytes:
+        """Serialise the packet, fixing up linkage fields along the way."""
+        # Let each header learn about its successor (ethertype, proto...).
+        for i, header in enumerate(self.headers):
+            successor = self.headers[i + 1] if i + 1 < len(self.headers) else None
+            header.link_to(successor)
+        # Encode back-to-front so lengths and checksums see their payload.
+        encoded = b""
+        for header in reversed(self.headers):
+            encoded = header.encode(encoded)
+        return encoded
+
+    def __len__(self) -> int:
+        return len(self.encode())
+
+    @classmethod
+    def decode(cls, data: bytes, first: Optional[Type[Header]] = None) -> "Packet":
+        """Parse ``data``, starting from ``first`` (default: Ethernet).
+
+        Decoding follows each header's demux field until a header reports
+        no known successor; any remaining bytes become a :class:`Raw`
+        trailer.
+        """
+        if first is None:
+            # Imported lazily to avoid a circular import at module load.
+            from repro.packet.ethernet import Ethernet
+
+            first = Ethernet
+        headers: List[Header] = []
+        cursor: Optional[Type[Header]] = first
+        remaining = bytes(data)
+        while cursor is not None and remaining:
+            try:
+                header, consumed = cursor.decode(remaining)
+            except DecodeError:
+                raise
+            except Exception as exc:  # struct errors, index errors, ...
+                raise DecodeError(
+                    f"failed to decode {cursor.__name__}: {exc}"
+                ) from exc
+            headers.append(header)
+            remaining = remaining[consumed:]
+            cursor = header.payload_class()
+        if remaining:
+            headers.append(Raw(remaining))
+        return cls(headers)
+
+    def summary(self) -> str:
+        """A compact one-line description, e.g. ``Ethernet/IPv4/UDP(64B)``."""
+        names = "/".join(type(h).__name__ for h in self.headers)
+        return f"{names}({len(self)}B)"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Packet):
+            return NotImplemented
+        return self.encode() == other.encode()
+
+    def __repr__(self) -> str:
+        return f"<Packet {self.summary()}>"

@@ -1,0 +1,130 @@
+"""Ethernet II and IEEE 802.1Q VLAN headers."""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional, Tuple, Type, Union
+
+from repro.errors import DecodeError
+from repro.packet.addresses import BROADCAST_MAC, MACAddress
+from repro.packet.base import Header
+
+__all__ = ["Ethernet", "VLAN", "EtherType", "register_ethertype"]
+
+
+class EtherType:
+    """Well-known EtherType values used across the platform."""
+
+    IPV4 = 0x0800
+    ARP = 0x0806
+    VLAN = 0x8100
+    LLDP = 0x88CC
+
+
+_ETHERTYPE_REGISTRY: Dict[int, Type[Header]] = {}
+
+
+def register_ethertype(ethertype: int, header_cls: Type[Header]) -> None:
+    """Associate an EtherType with the header class that decodes it."""
+    _ETHERTYPE_REGISTRY[ethertype] = header_cls
+
+
+def lookup_ethertype(ethertype: int) -> Optional[Type[Header]]:
+    return _ETHERTYPE_REGISTRY.get(ethertype)
+
+
+def _ethertype_of(header: Header) -> Optional[int]:
+    for etype, cls in _ETHERTYPE_REGISTRY.items():
+        if isinstance(header, cls):
+            return etype
+    return None
+
+
+class Ethernet(Header):
+    """Ethernet II frame header: dst(6) src(6) ethertype(2)."""
+
+    name = "ethernet"
+    _FMT = struct.Struct("!6s6sH")
+
+    def __init__(
+        self,
+        dst: Union[str, MACAddress] = BROADCAST_MAC,
+        src: Union[str, MACAddress] = "00:00:00:00:00:00",
+        ethertype: int = 0,
+    ) -> None:
+        self.dst = MACAddress(dst)
+        self.src = MACAddress(src)
+        self.ethertype = ethertype
+
+    def link_to(self, successor: Optional[Header]) -> None:
+        if successor is None:
+            return
+        etype = _ethertype_of(successor)
+        if etype is not None:
+            self.ethertype = etype
+
+    def encode(self, following: bytes) -> bytes:
+        return (
+            self._FMT.pack(self.dst.packed(), self.src.packed(), self.ethertype)
+            + following
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["Ethernet", int]:
+        if len(data) < cls._FMT.size:
+            raise DecodeError(
+                f"Ethernet header needs {cls._FMT.size} bytes, got {len(data)}"
+            )
+        dst, src, ethertype = cls._FMT.unpack_from(data)
+        return cls(MACAddress(dst), MACAddress(src), ethertype), cls._FMT.size
+
+    def payload_class(self) -> Optional[Type[Header]]:
+        return lookup_ethertype(self.ethertype)
+
+
+class VLAN(Header):
+    """IEEE 802.1Q tag: PCP(3) DEI(1) VID(12), then inner ethertype(2)."""
+
+    name = "vlan"
+    _FMT = struct.Struct("!HH")
+
+    def __init__(self, vid: int = 0, pcp: int = 0, dei: int = 0,
+                 ethertype: int = 0) -> None:
+        if not 0 <= vid < 4096:
+            raise DecodeError(f"VLAN id out of range: {vid}")
+        if not 0 <= pcp < 8:
+            raise DecodeError(f"VLAN priority out of range: {pcp}")
+        self.vid = vid
+        self.pcp = pcp
+        self.dei = dei & 1
+        self.ethertype = ethertype
+
+    def link_to(self, successor: Optional[Header]) -> None:
+        if successor is None:
+            return
+        etype = _ethertype_of(successor)
+        if etype is not None:
+            self.ethertype = etype
+
+    def encode(self, following: bytes) -> bytes:
+        tci = (self.pcp << 13) | (self.dei << 12) | self.vid
+        return self._FMT.pack(tci, self.ethertype) + following
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["VLAN", int]:
+        if len(data) < cls._FMT.size:
+            raise DecodeError(
+                f"VLAN tag needs {cls._FMT.size} bytes, got {len(data)}"
+            )
+        tci, ethertype = cls._FMT.unpack_from(data)
+        return (
+            cls(vid=tci & 0xFFF, pcp=tci >> 13, dei=(tci >> 12) & 1,
+                ethertype=ethertype),
+            cls._FMT.size,
+        )
+
+    def payload_class(self) -> Optional[Type[Header]]:
+        return lookup_ethertype(self.ethertype)
+
+
+register_ethertype(EtherType.VLAN, VLAN)

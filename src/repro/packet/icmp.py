@@ -1,0 +1,75 @@
+"""ICMP echo request/reply and destination-unreachable (RFC 792)."""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from repro.errors import DecodeError
+from repro.packet.base import Header
+from repro.packet.checksum import internet_checksum
+from repro.packet.ipv4 import IPProto, register_ip_proto
+
+__all__ = ["ICMP", "ICMPType"]
+
+
+class ICMPType:
+    """ICMP message types used by the emulator's hosts."""
+
+    ECHO_REPLY = 0
+    DEST_UNREACHABLE = 3
+    ECHO_REQUEST = 8
+    TIME_EXCEEDED = 11
+
+
+class ICMP(Header):
+    """An ICMP header with the echo ``ident``/``seq`` rest-of-header layout.
+
+    For non-echo types the two 16-bit fields are simply the rest-of-header
+    words (e.g. unused/zero for destination unreachable), which is faithful
+    to the wire format.
+    """
+
+    name = "icmp"
+    _FMT = struct.Struct("!BBHHH")
+
+    def __init__(
+        self,
+        icmp_type: int = ICMPType.ECHO_REQUEST,
+        code: int = 0,
+        ident: int = 0,
+        seq: int = 0,
+    ) -> None:
+        self.icmp_type = icmp_type
+        self.code = code
+        self.ident = ident
+        self.seq = seq
+
+    @property
+    def is_echo_request(self) -> bool:
+        return self.icmp_type == ICMPType.ECHO_REQUEST
+
+    @property
+    def is_echo_reply(self) -> bool:
+        return self.icmp_type == ICMPType.ECHO_REPLY
+
+    def encode(self, following: bytes) -> bytes:
+        body = self._FMT.pack(
+            self.icmp_type, self.code, 0, self.ident, self.seq
+        ) + following
+        checksum = internet_checksum(body)
+        return body[:2] + checksum.to_bytes(2, "big") + body[4:]
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["ICMP", int]:
+        if len(data) < cls._FMT.size:
+            raise DecodeError(
+                f"ICMP needs {cls._FMT.size} bytes, got {len(data)}"
+            )
+        if internet_checksum(data) != 0:
+            raise DecodeError("ICMP checksum mismatch")
+        icmp_type, code, _checksum, ident, seq = cls._FMT.unpack_from(data)
+        return cls(icmp_type, code, ident, seq), cls._FMT.size
+
+
+register_ip_proto(IPProto.ICMP, ICMP)

@@ -1,0 +1,143 @@
+"""IPv4 header (RFC 791), without options."""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional, Tuple, Type, Union
+
+from repro.errors import DecodeError
+from repro.packet.addresses import IPv4Address
+from repro.packet.base import Header
+from repro.packet.checksum import internet_checksum
+from repro.packet.ethernet import EtherType, register_ethertype
+
+__all__ = ["IPv4", "IPProto", "register_ip_proto"]
+
+
+class IPProto:
+    """Well-known IP protocol numbers."""
+
+    ICMP = 1
+    TCP = 6
+    UDP = 17
+
+
+_PROTO_REGISTRY: Dict[int, Type[Header]] = {}
+
+
+def register_ip_proto(proto: int, header_cls: Type[Header]) -> None:
+    """Associate an IP protocol number with its header class."""
+    _PROTO_REGISTRY[proto] = header_cls
+
+
+def _proto_of(header: Header) -> Optional[int]:
+    for proto, cls in _PROTO_REGISTRY.items():
+        if isinstance(header, cls):
+            return proto
+    return None
+
+
+class IPv4(Header):
+    """A 20-byte IPv4 header.
+
+    ``total_length`` and ``checksum`` are computed on encode; ``dscp`` maps
+    to the upper 6 bits of the legacy ToS byte and is what QoS-aware apps
+    (slicing, TE) match and rewrite.
+    """
+
+    name = "ipv4"
+    _FMT = struct.Struct("!BBHHHBBH4s4s")
+
+    def __init__(
+        self,
+        src: Union[str, IPv4Address] = "0.0.0.0",
+        dst: Union[str, IPv4Address] = "0.0.0.0",
+        proto: int = 0,
+        ttl: int = 64,
+        dscp: int = 0,
+        ecn: int = 0,
+        ident: int = 0,
+        flags: int = 0b010,  # don't-fragment by default
+        frag_offset: int = 0,
+    ) -> None:
+        self.src = IPv4Address(src)
+        self.dst = IPv4Address(dst)
+        self.proto = proto
+        self.ttl = ttl
+        self.dscp = dscp
+        self.ecn = ecn
+        self.ident = ident
+        self.flags = flags
+        self.frag_offset = frag_offset
+
+    def link_to(self, successor: Optional[Header]) -> None:
+        if successor is None:
+            return
+        proto = _proto_of(successor)
+        if proto is not None:
+            self.proto = proto
+
+    def encode(self, following: bytes) -> bytes:
+        total_length = self._FMT.size + len(following)
+        tos = (self.dscp << 2) | self.ecn
+        flags_frag = (self.flags << 13) | self.frag_offset
+        header = self._FMT.pack(
+            (4 << 4) | 5,  # version 4, IHL 5 (no options)
+            tos,
+            total_length,
+            self.ident,
+            flags_frag,
+            self.ttl,
+            self.proto,
+            0,  # checksum placeholder
+            self.src.packed(),
+            self.dst.packed(),
+        )
+        checksum = internet_checksum(header)
+        header = header[:10] + checksum.to_bytes(2, "big") + header[12:]
+        return header + following
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["IPv4", int]:
+        if len(data) < cls._FMT.size:
+            raise DecodeError(
+                f"IPv4 needs {cls._FMT.size} bytes, got {len(data)}"
+            )
+        (ver_ihl, tos, total_length, ident, flags_frag,
+         ttl, proto, checksum, src, dst) = cls._FMT.unpack_from(data)
+        version, ihl = ver_ihl >> 4, ver_ihl & 0xF
+        if version != 4:
+            raise DecodeError(f"not an IPv4 packet (version={version})")
+        if ihl < 5:
+            raise DecodeError(f"IPv4 IHL too small: {ihl}")
+        header_len = ihl * 4
+        if len(data) < header_len:
+            raise DecodeError("IPv4 header truncated (options missing)")
+        if internet_checksum(data[:header_len]) != 0:
+            raise DecodeError("IPv4 header checksum mismatch")
+        header = cls(
+            src=IPv4Address(src),
+            dst=IPv4Address(dst),
+            proto=proto,
+            ttl=ttl,
+            dscp=tos >> 2,
+            ecn=tos & 0b11,
+            ident=ident,
+            flags=flags_frag >> 13,
+            frag_offset=flags_frag & 0x1FFF,
+        )
+        return header, header_len
+
+    def payload_class(self) -> Optional[Type[Header]]:
+        return _PROTO_REGISTRY.get(self.proto)
+
+    def decrement_ttl(self) -> bool:
+        """Decrement TTL in place; returns False when it has expired."""
+        if self.ttl <= 1:
+            self.ttl = 0
+            return False
+        self.ttl -= 1
+        return True
+
+
+register_ethertype(EtherType.IPV4, IPv4)

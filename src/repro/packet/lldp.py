@@ -1,0 +1,98 @@
+"""LLDP (IEEE 802.1AB) — the discovery protocol the controller uses to
+learn switch-to-switch links.
+
+Only the three mandatory TLVs are implemented (chassis id, port id, TTL)
+plus the end-of-LLDPDU marker, which is all OpenFlow-style discovery needs.
+The chassis id carries the switch datapath id as a locally-assigned string;
+the port id carries the egress port number.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from repro.errors import DecodeError
+from repro.packet.addresses import MACAddress
+from repro.packet.base import Header
+from repro.packet.ethernet import EtherType, register_ethertype
+
+__all__ = ["LLDP", "LLDP_MULTICAST"]
+
+#: Destination MAC for LLDP frames (nearest-bridge group address).
+LLDP_MULTICAST = MACAddress("01:80:c2:00:00:0e")
+
+_TLV_END = 0
+_TLV_CHASSIS_ID = 1
+_TLV_PORT_ID = 2
+_TLV_TTL = 3
+
+_CHASSIS_SUBTYPE_LOCAL = 7
+_PORT_SUBTYPE_LOCAL = 7
+
+
+def _tlv(tlv_type: int, value: bytes) -> bytes:
+    if len(value) > 511:
+        raise DecodeError(f"LLDP TLV value too long: {len(value)}")
+    word = (tlv_type << 9) | len(value)
+    return word.to_bytes(2, "big") + value
+
+
+class LLDP(Header):
+    """An LLDPDU carrying (chassis_id, port_id, ttl)."""
+
+    name = "lldp"
+
+    def __init__(self, chassis_id: int = 0, port_id: int = 0,
+                 ttl: int = 120) -> None:
+        self.chassis_id = chassis_id
+        self.port_id = port_id
+        self.ttl = ttl
+
+    def encode(self, following: bytes) -> bytes:
+        chassis = bytes([_CHASSIS_SUBTYPE_LOCAL]) + str(self.chassis_id).encode()
+        port = bytes([_PORT_SUBTYPE_LOCAL]) + str(self.port_id).encode()
+        return (
+            _tlv(_TLV_CHASSIS_ID, chassis)
+            + _tlv(_TLV_PORT_ID, port)
+            + _tlv(_TLV_TTL, struct.pack("!H", self.ttl))
+            + _tlv(_TLV_END, b"")
+            + following
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["LLDP", int]:
+        offset = 0
+        chassis_id = port_id = None
+        ttl = 120
+        while True:
+            if len(data) - offset < 2:
+                raise DecodeError("LLDP truncated before end TLV")
+            word = int.from_bytes(data[offset:offset + 2], "big")
+            tlv_type, tlv_len = word >> 9, word & 0x1FF
+            offset += 2
+            if tlv_type == _TLV_END:
+                break
+            value = data[offset:offset + tlv_len]
+            if len(value) != tlv_len:
+                raise DecodeError("LLDP TLV value truncated")
+            offset += tlv_len
+            if tlv_type == _TLV_CHASSIS_ID:
+                if not value or value[0] != _CHASSIS_SUBTYPE_LOCAL:
+                    raise DecodeError("unsupported LLDP chassis subtype")
+                chassis_id = int(value[1:].decode())
+            elif tlv_type == _TLV_PORT_ID:
+                if not value or value[0] != _PORT_SUBTYPE_LOCAL:
+                    raise DecodeError("unsupported LLDP port subtype")
+                port_id = int(value[1:].decode())
+            elif tlv_type == _TLV_TTL:
+                if tlv_len != 2:
+                    raise DecodeError("LLDP TTL TLV must be 2 bytes")
+                ttl = struct.unpack("!H", value)[0]
+            # Unknown TLVs are skipped, per the standard.
+        if chassis_id is None or port_id is None:
+            raise DecodeError("LLDP missing mandatory chassis/port TLV")
+        return cls(chassis_id, port_id, ttl), offset
+
+
+register_ethertype(EtherType.LLDP, LLDP)

@@ -1,0 +1,116 @@
+"""TCP header (RFC 793), without options.
+
+As with UDP, the checksum is emitted as zero (offload semantics); the
+emulator's transport endpoints rely on the lossless-by-default link model
+or explicit loss injection rather than checksum validation.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from repro.errors import DecodeError
+from repro.packet.base import Header
+from repro.packet.ipv4 import IPProto, register_ip_proto
+
+__all__ = ["TCP", "TCPFlags"]
+
+
+class TCPFlags:
+    """Bit values for the TCP flags field."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+    ECE = 0x40
+    CWR = 0x80
+
+
+class TCP(Header):
+    """A 20-byte TCP header."""
+
+    name = "tcp"
+    _FMT = struct.Struct("!HHIIBBHHH")
+
+    def __init__(
+        self,
+        src_port: int = 0,
+        dst_port: int = 0,
+        seq: int = 0,
+        ack: int = 0,
+        flags: int = 0,
+        window: int = 65535,
+        urgent: int = 0,
+    ) -> None:
+        for port in (src_port, dst_port):
+            if not 0 <= port < 65536:
+                raise DecodeError(f"TCP port out of range: {port}")
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.seq = seq & 0xFFFFFFFF
+        self.ack = ack & 0xFFFFFFFF
+        self.flags = flags
+        self.window = window
+        self.urgent = urgent
+
+    def has_flags(self, mask: int) -> bool:
+        """True when every flag bit in ``mask`` is set."""
+        return (self.flags & mask) == mask
+
+    @property
+    def is_syn(self) -> bool:
+        return bool(self.flags & TCPFlags.SYN)
+
+    @property
+    def is_fin(self) -> bool:
+        return bool(self.flags & TCPFlags.FIN)
+
+    @property
+    def is_ack(self) -> bool:
+        return bool(self.flags & TCPFlags.ACK)
+
+    @property
+    def is_rst(self) -> bool:
+        return bool(self.flags & TCPFlags.RST)
+
+    def encode(self, following: bytes) -> bytes:
+        data_offset = 5  # 20-byte header, no options
+        return (
+            self._FMT.pack(
+                self.src_port,
+                self.dst_port,
+                self.seq,
+                self.ack,
+                data_offset << 4,
+                self.flags,
+                self.window,
+                0,  # checksum: offloaded
+                self.urgent,
+            )
+            + following
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["TCP", int]:
+        if len(data) < cls._FMT.size:
+            raise DecodeError(
+                f"TCP needs {cls._FMT.size} bytes, got {len(data)}"
+            )
+        (src_port, dst_port, seq, ack, offset_byte, flags,
+         window, _checksum, urgent) = cls._FMT.unpack_from(data)
+        header_len = (offset_byte >> 4) * 4
+        if header_len < cls._FMT.size:
+            raise DecodeError(f"TCP data offset too small: {header_len}")
+        if len(data) < header_len:
+            raise DecodeError("TCP header truncated (options missing)")
+        return (
+            cls(src_port, dst_port, seq, ack, flags, window, urgent),
+            header_len,
+        )
+
+
+register_ip_proto(IPProto.TCP, TCP)

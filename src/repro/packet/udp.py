@@ -1,0 +1,51 @@
+"""UDP header (RFC 768).
+
+The checksum field is emitted as zero, which RFC 768 defines as "checksum
+not computed".  This mirrors NIC checksum offload as seen by virtual
+switches: the dataplane never needs L4 checksums, and tests that care can
+compute one with :func:`repro.packet.checksum.internet_checksum` over the
+pseudo-header explicitly.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from repro.errors import DecodeError
+from repro.packet.base import Header
+from repro.packet.ipv4 import IPProto, register_ip_proto
+
+__all__ = ["UDP"]
+
+
+class UDP(Header):
+    """UDP header: src_port(2) dst_port(2) length(2) checksum(2)."""
+
+    name = "udp"
+    _FMT = struct.Struct("!HHHH")
+
+    def __init__(self, src_port: int = 0, dst_port: int = 0) -> None:
+        for port in (src_port, dst_port):
+            if not 0 <= port < 65536:
+                raise DecodeError(f"UDP port out of range: {port}")
+        self.src_port = src_port
+        self.dst_port = dst_port
+
+    def encode(self, following: bytes) -> bytes:
+        length = self._FMT.size + len(following)
+        return self._FMT.pack(self.src_port, self.dst_port, length, 0) + following
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["UDP", int]:
+        if len(data) < cls._FMT.size:
+            raise DecodeError(
+                f"UDP needs {cls._FMT.size} bytes, got {len(data)}"
+            )
+        src_port, dst_port, length, _checksum = cls._FMT.unpack_from(data)
+        if length < cls._FMT.size:
+            raise DecodeError(f"UDP length field too small: {length}")
+        return cls(src_port, dst_port), cls._FMT.size
+
+
+register_ip_proto(IPProto.UDP, UDP)

@@ -1,0 +1,5 @@
+"""Deterministic discrete-event simulation kernel for ZenSDN."""
+
+from repro.sim.kernel import Event, Process, Signal, Simulator
+
+__all__ = ["Event", "Process", "Signal", "Simulator"]

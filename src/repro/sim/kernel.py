@@ -1,0 +1,356 @@
+"""Discrete-event simulation kernel.
+
+The kernel is the heartbeat of ZenSDN: every link transmission, switch
+lookup, controller computation, and timer in the platform is an event on a
+single priority queue ordered by simulated time.  Determinism is a design
+goal — two runs with the same seed produce identical event orderings, which
+makes every experiment in ``benchmarks/`` reproducible bit-for-bit.
+
+Two programming styles are supported:
+
+* **Callbacks** — ``sim.schedule(delay, fn, *args)`` runs ``fn`` at
+  ``now + delay``.
+* **Processes** — generator functions spawned with ``sim.spawn`` that
+  ``yield sim.sleep(dt)`` or ``yield signal.wait()`` to advance simulated
+  time without inverting control flow.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "Signal", "Simulator", "Process"]
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    """Internal heap entry; ordering is (time, sequence) for determinism."""
+
+    time: float
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`Simulator.schedule` and may be cancelled
+    before they fire.  A cancelled event stays in the heap but is skipped by
+    the run loop.
+    """
+
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<Event t={self.time:.6f} {name} {state}>"
+
+
+class Signal:
+    """A broadcast condition processes can wait on.
+
+    ``yield signal.wait()`` suspends the waiting process until another party
+    calls :meth:`fire`.  The value passed to ``fire`` becomes the result of
+    the ``yield`` expression for every waiter.
+    """
+
+    __slots__ = ("_sim", "_waiters")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self._waiters: list[Process] = []
+
+    def wait(self) -> "_Wait":
+        return _Wait(self)
+
+    def fire(self, value: Any = None) -> None:
+        """Wake every waiting process at the current simulated instant."""
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self._sim.schedule(0.0, proc._resume, value)
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+
+class _Wait:
+    """Yieldable token returned by :meth:`Signal.wait`."""
+
+    __slots__ = ("signal",)
+
+    def __init__(self, signal: Signal) -> None:
+        self.signal = signal
+
+
+class _Sleep:
+    """Yieldable token returned by :meth:`Simulator.sleep`."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        self.delay = delay
+
+
+class Process:
+    """A generator-based cooperative process running on the kernel.
+
+    The wrapped generator may yield:
+
+    * ``sim.sleep(dt)`` — resume after ``dt`` simulated seconds,
+    * ``signal.wait()`` — resume when the signal fires,
+    * another :class:`Process` — resume when that process finishes.
+    """
+
+    __slots__ = ("sim", "gen", "alive", "result", "_done", "name")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
+        self.sim = sim
+        self.gen = gen
+        self.alive = True
+        self.result: Any = None
+        self._done = Signal(sim)
+        self.name = name or getattr(gen, "__name__", "process")
+
+    def wait(self) -> _Wait:
+        """Yieldable: suspend the caller until this process terminates."""
+        return self._done.wait()
+
+    def kill(self) -> None:
+        """Terminate the process; its generator is closed immediately."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.gen.close()
+        self._done.fire(None)
+
+    def _resume(self, value: Any = None) -> None:
+        if not self.alive:
+            return
+        try:
+            yielded = self.gen.send(value)
+        except StopIteration as stop:
+            self.alive = False
+            self.result = stop.value
+            self._done.fire(stop.value)
+            return
+        if isinstance(yielded, _Sleep):
+            self.sim.schedule(yielded.delay, self._resume, None)
+        elif isinstance(yielded, _Wait):
+            yielded.signal._waiters.append(self)
+        elif isinstance(yielded, Process):
+            yielded._done._waiters.append(self)
+        else:
+            self.alive = False
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value "
+                f"{yielded!r}; yield sim.sleep(), signal.wait(), or a Process"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else "done"
+        return f"<Process {self.name} {state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the kernel's :class:`random.Random`; every stochastic
+        component in the platform draws from :attr:`rng` (or a
+        :meth:`fork_rng` child) so a run is fully determined by this value.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._heap: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._processed = 0
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self._rng_children = 0
+
+    # ------------------------------------------------------------------
+    # Time and scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._processed
+
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay=}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Run ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}; now is {self._now}"
+            )
+        event = Event(time, callback, args)
+        heapq.heappush(self._heap, _QueueEntry(time, next(self._seq), event))
+        return event
+
+    def call_every(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        jitter: float = 0.0,
+    ) -> Callable[[], None]:
+        """Run ``callback`` periodically; returns a function that stops it.
+
+        ``jitter`` adds a uniform random offset in ``[0, jitter)`` to each
+        period, which desynchronises periodic behaviours (e.g. LLDP probes
+        from many switches) without sacrificing determinism.
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive: {interval=}")
+        stopped = False
+        pending: list[Event] = []
+
+        def tick() -> None:
+            if stopped:
+                return
+            callback(*args)
+            arm()
+
+        def arm() -> None:
+            if stopped:
+                return
+            delay = interval + (self.rng.uniform(0, jitter) if jitter else 0)
+            pending[:] = [self.schedule(delay, tick)]
+
+        def stop() -> None:
+            nonlocal stopped
+            stopped = True
+            for ev in pending:
+                ev.cancel()
+
+        arm()
+        return stop
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a generator-based process; it first runs at the current time."""
+        proc = Process(self, gen, name=name)
+        self.schedule(0.0, proc._resume, None)
+        return proc
+
+    def sleep(self, delay: float) -> _Sleep:
+        """Yieldable: suspend the calling process for ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot sleep a negative time: {delay=}")
+        return _Sleep(delay)
+
+    def signal(self) -> Signal:
+        """Create a new :class:`Signal` bound to this simulator."""
+        return Signal(self)
+
+    # ------------------------------------------------------------------
+    # Randomness
+    # ------------------------------------------------------------------
+    def fork_rng(self) -> random.Random:
+        """Derive an independent, deterministic child RNG.
+
+        Components that draw random numbers at data rate (e.g. lossy links)
+        use a forked stream so adding a new random consumer elsewhere does
+        not perturb their sequence.
+        """
+        self._rng_children += 1
+        return random.Random((self.seed, self._rng_children).__hash__())
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Execute events until the queue drains or a bound is hit.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire strictly after this time;
+            the clock is then advanced to ``until``.
+        max_events:
+            Stop after executing this many events (a runaway-loop guard).
+
+        Returns
+        -------
+        int
+            The number of events executed by this call.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                break
+            entry = self._heap[0]
+            if entry.event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and entry.time > until:
+                break
+            heapq.heappop(self._heap)
+            self._now = entry.time
+            entry.event.callback(*entry.event.args)
+            self._processed += 1
+            executed += 1
+        if until is not None and self._now < until:
+            self._now = until
+        return executed
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Run until no events remain; guard against infinite loops."""
+        return self.run(max_events=max_events)
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._heap if not e.event.cancelled)
+
+    def drain(self, events: Iterable[Event]) -> None:
+        """Cancel a collection of events (convenience for teardown)."""
+        for event in events:
+            event.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Simulator t={self._now:.6f} pending={len(self._heap)} "
+            f"processed={self._processed}>"
+        )

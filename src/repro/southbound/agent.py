@@ -1,0 +1,326 @@
+"""The switch-side ZOF agent.
+
+A :class:`SwitchAgent` adapts a :class:`~repro.dataplane.switch.Datapath`
+onto the switch end of a :class:`~repro.southbound.channel.ControlChannel`:
+it answers the handshake, applies programming verbs, and converts datapath
+callbacks into asynchronous ZOF events.  It is the only component that
+knows both worlds, keeping the dataplane wire-protocol-free.
+
+A configurable ``flowmod_delay`` models the install latency of real
+switch ASICs (typically 1–10 ms for TCAM updates); barriers serialise
+against it, which is what makes barrier-paced update schemes (zUpdate
+et al.) meaningful to measure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dataplane.flowtable import FlowEntry
+from repro.dataplane.match import Match
+from repro.dataplane.switch import Datapath, Port
+from repro.errors import DataplaneError, TableFullError
+from repro.packet import Packet
+from repro.southbound.channel import ChannelEndpoint, ControlChannel
+from repro.southbound.messages import (
+    BarrierReply,
+    BarrierRequest,
+    ControllerRole,
+    EchoReply,
+    EchoRequest,
+    Error,
+    FeaturesReply,
+    FeaturesRequest,
+    FlowMod,
+    FlowModCommand,
+    FlowRemoved,
+    FlowStatsEntry,
+    GroupMod,
+    Hello,
+    Message,
+    MeterMod,
+    ModCommand,
+    PacketIn,
+    PacketOut,
+    PortDesc,
+    PortStatus,
+    RoleReply,
+    RoleRequest,
+    StatsKind,
+    StatsReply,
+    StatsRequest,
+)
+
+__all__ = ["SwitchAgent"]
+
+from repro.dataplane.meter import MeterEntry
+
+
+class SwitchAgent:
+    """Binds one datapath to one control channel (switch side)."""
+
+    def __init__(
+        self,
+        datapath: Datapath,
+        channel: ControlChannel,
+        flowmod_delay: float = 0.0,
+    ) -> None:
+        self.datapath = datapath
+        self.channel = channel
+        self.endpoint: ChannelEndpoint = channel.switch_end
+        self.flowmod_delay = flowmod_delay
+        self.peer_version: Optional[int] = None
+        self.controller_role = ControllerRole.EQUAL
+        self.generation_id = 0
+        #: Simulated time at which the last queued flow-mod completes;
+        #: barriers reply no earlier than this.
+        self._apply_cursor = 0.0
+
+        self.endpoint.handler = self._handle
+        self.endpoint.on_connect = self._on_connect
+        datapath.on_packet_in = self._on_packet_in
+        datapath.on_flow_removed = self._on_flow_removed
+        datapath.on_port_status = self._on_port_status
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    def _on_connect(self) -> None:
+        self.endpoint.send(Hello())
+
+    # ------------------------------------------------------------------
+    # Datapath events -> ZOF messages
+    # ------------------------------------------------------------------
+    def _on_packet_in(self, packet: Packet, in_port: int,
+                      reason: str) -> None:
+        if not self.channel.connected:
+            return
+        self.endpoint.send(PacketIn(in_port, reason, packet.encode()))
+
+    def _on_flow_removed(self, table_id: int, entry: FlowEntry,
+                         reason: str) -> None:
+        if not self.channel.connected:
+            return
+        if not entry.flags & FlowMod.SEND_FLOW_REM:
+            return
+        now = self.datapath.sim.now
+        self.endpoint.send(FlowRemoved(
+            table_id=table_id,
+            match=entry.match,
+            priority=entry.priority,
+            cookie=entry.cookie,
+            reason=reason,
+            duration=now - entry.install_time,
+            packet_count=entry.packet_count,
+            byte_count=entry.byte_count,
+        ))
+
+    def _on_port_status(self, port: Port, reason: str) -> None:
+        if not self.channel.connected:
+            return
+        self.endpoint.send(PortStatus(reason, self._port_desc(port)))
+
+    @staticmethod
+    def _port_desc(port: Port) -> PortDesc:
+        return PortDesc(port.number, port.mac.packed(), port.up)
+
+    # ------------------------------------------------------------------
+    # ZOF messages -> datapath operations
+    # ------------------------------------------------------------------
+    def _handle(self, msg: Message) -> None:
+        if isinstance(msg, Hello):
+            self.peer_version = msg.version
+        elif isinstance(msg, EchoRequest):
+            self._reply(msg, EchoReply(msg.data))
+        elif isinstance(msg, FeaturesRequest):
+            self._reply(msg, FeaturesReply(
+                dpid=self.datapath.dpid,
+                num_tables=len(self.datapath.tables),
+                ports=[self._port_desc(p)
+                       for p in self.datapath.ports.values()],
+            ))
+        elif isinstance(msg, FlowMod):
+            self._queue_apply(self._apply_flow_mod, msg)
+        elif isinstance(msg, GroupMod):
+            self._queue_apply(self._apply_group_mod, msg)
+        elif isinstance(msg, MeterMod):
+            self._queue_apply(self._apply_meter_mod, msg)
+        elif isinstance(msg, PacketOut):
+            self._apply_packet_out(msg)
+        elif isinstance(msg, BarrierRequest):
+            self._schedule_barrier(msg)
+        elif isinstance(msg, StatsRequest):
+            self._reply(msg, self._build_stats(msg))
+        elif isinstance(msg, RoleRequest):
+            self._apply_role(msg)
+        elif isinstance(msg, (Error, EchoReply)):
+            pass  # informational
+        else:
+            self._reply(msg, Error(
+                Error.BAD_REQUEST,
+                f"switch cannot handle {type(msg).__name__}",
+            ))
+
+    def _reply(self, request: Message, response: Message) -> None:
+        response.xid = request.xid
+        self.endpoint.send(response)
+
+    # -- programming verbs, serialised behind flowmod_delay -----------
+    def _queue_apply(self, fn, msg: Message) -> None:
+        sim = self.datapath.sim
+        start = max(sim.now, self._apply_cursor)
+        finish = start + self.flowmod_delay
+        self._apply_cursor = finish
+        if finish <= sim.now:
+            fn(msg)
+        else:
+            sim.schedule_at(finish, fn, msg)
+
+    def _schedule_barrier(self, msg: BarrierRequest) -> None:
+        sim = self.datapath.sim
+        at = max(sim.now, self._apply_cursor)
+        if at <= sim.now:
+            self._reply(msg, BarrierReply())
+        else:
+            sim.schedule_at(at, self._reply, msg, BarrierReply())
+
+    def _apply_flow_mod(self, msg: FlowMod) -> None:
+        try:
+            if msg.command == FlowModCommand.ADD:
+                entry = FlowEntry(
+                    match=msg.match,
+                    actions=msg.actions,
+                    priority=msg.priority,
+                    idle_timeout=msg.idle_timeout,
+                    hard_timeout=msg.hard_timeout,
+                    cookie=msg.cookie,
+                    goto_table=msg.goto_table,
+                    flags=msg.flags,
+                )
+                self.datapath.install_flow(entry, msg.table_id)
+            elif msg.command == FlowModCommand.MODIFY:
+                table = self.datapath.table(msg.table_id)
+                for entry in table.entries(
+                    lambda e: e.match.is_subset_of(msg.match)
+                ):
+                    entry.actions = list(msg.actions)
+                    entry.flags = msg.flags
+            elif msg.command in (FlowModCommand.DELETE,
+                                 FlowModCommand.DELETE_STRICT):
+                self.datapath.remove_flows(
+                    table_id=msg.table_id,
+                    match=msg.match,
+                    priority=msg.priority,
+                    strict=msg.command == FlowModCommand.DELETE_STRICT,
+                )
+            else:
+                raise DataplaneError(f"unknown FlowMod command {msg.command}")
+        except TableFullError as exc:
+            self._send_error(msg, Error.TABLE_FULL, str(exc))
+        except DataplaneError as exc:
+            self._send_error(msg, Error.BAD_REQUEST, str(exc))
+
+    def _apply_group_mod(self, msg: GroupMod) -> None:
+        groups = self.datapath.groups
+        try:
+            if msg.command == ModCommand.ADD:
+                groups.add(msg.to_entry())
+            elif msg.command == ModCommand.MODIFY:
+                groups.modify(msg.to_entry())
+            elif msg.command == ModCommand.DELETE:
+                groups.delete(msg.group_id)
+            else:
+                raise DataplaneError(f"unknown GroupMod command {msg.command}")
+        except DataplaneError as exc:
+            self._send_error(msg, Error.BAD_GROUP, str(exc))
+
+    def _apply_meter_mod(self, msg: MeterMod) -> None:
+        meters = self.datapath.meters
+        try:
+            if msg.command == ModCommand.ADD:
+                meters.add(MeterEntry(
+                    msg.meter_id, msg.rate_bps, msg.burst_bytes or None
+                ))
+            elif msg.command == ModCommand.MODIFY:
+                meters.modify(MeterEntry(
+                    msg.meter_id, msg.rate_bps, msg.burst_bytes or None
+                ))
+            elif msg.command == ModCommand.DELETE:
+                meters.delete(msg.meter_id)
+            else:
+                raise DataplaneError(f"unknown MeterMod command {msg.command}")
+        except DataplaneError as exc:
+            self._send_error(msg, Error.BAD_METER, str(exc))
+
+    def _apply_packet_out(self, msg: PacketOut) -> None:
+        try:
+            packet = Packet.decode(msg.data)
+            self.datapath.send_packet_out(packet, msg.actions, msg.in_port)
+        except DataplaneError as exc:
+            self._send_error(msg, Error.BAD_ACTION, str(exc))
+
+    def _apply_role(self, msg: RoleRequest) -> None:
+        if (msg.role != ControllerRole.EQUAL
+                and msg.generation_id < self.generation_id):
+            self._send_error(msg, Error.BAD_ROLE,
+                             f"stale generation {msg.generation_id}")
+            return
+        self.controller_role = msg.role
+        if msg.role != ControllerRole.EQUAL:
+            self.generation_id = msg.generation_id
+        self._reply(msg, RoleReply(self.controller_role, self.generation_id))
+
+    def _send_error(self, request: Message, code: int, detail: str) -> None:
+        err = Error(code, detail)
+        err.xid = request.xid  # correlate with the failing request
+        self.endpoint.send(err)
+
+    # -- statistics ----------------------------------------------------
+    def _build_stats(self, msg: StatsRequest) -> StatsReply:
+        dp = self.datapath
+        if msg.kind == StatsKind.PORT:
+            return StatsReply(StatsKind.PORT, [
+                p.stats() for p in dp.ports.values()
+            ])
+        if msg.kind == StatsKind.TABLE:
+            return StatsReply(StatsKind.TABLE, [
+                {
+                    "table_id": t.table_id,
+                    "active": len(t),
+                    "lookups": t.lookup_count,
+                    "matches": t.matched_count,
+                }
+                for t in dp.tables
+            ])
+        if msg.kind == StatsKind.FLOW:
+            tables = (
+                dp.tables if msg.table_id == 0xFF
+                else [dp.table(msg.table_id)]
+            )
+            now = dp.sim.now
+            entries = [
+                FlowStatsEntry(
+                    table_id=t.table_id,
+                    priority=e.priority,
+                    cookie=e.cookie,
+                    packet_count=e.packet_count,
+                    byte_count=e.byte_count,
+                    duration=now - e.install_time,
+                    match=e.match,
+                )
+                for t in tables
+                for e in t
+            ]
+            return StatsReply(StatsKind.FLOW, entries)
+        if msg.kind == StatsKind.AGGREGATE:
+            packets = sum(e.packet_count for t in dp.tables for e in t)
+            nbytes = sum(e.byte_count for t in dp.tables for e in t)
+            return StatsReply(StatsKind.AGGREGATE, [{
+                "packets": packets,
+                "bytes": nbytes,
+                "flows": dp.flow_count(),
+            }])
+        return StatsReply(msg.kind, [])
+
+    def __repr__(self) -> str:
+        return f"<SwitchAgent dpid={self.datapath.dpid}>"

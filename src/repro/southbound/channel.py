@@ -1,0 +1,200 @@
+"""The control channel between a switch and its controller.
+
+Messages are *actually serialised* at the sending endpoint and reparsed at
+the receiving one, so codec bugs surface in integration tests and the
+byte counts reported for benchmark E9 are real.  The channel models
+propagation latency, optional serialisation bandwidth, and in-order
+delivery (ZOF, like OpenFlow, assumes a TCP-like transport).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Optional
+
+from repro.errors import ChannelClosedError
+from repro.sim import Simulator
+from repro.southbound.messages import (
+    Message,
+    REPLY_TYPES,
+    decode_message,
+    encode_message,
+)
+
+__all__ = ["ControlChannel", "ChannelEndpoint", "ChannelStats"]
+
+
+class ChannelStats:
+    """Per-direction message and byte counters, broken down by type."""
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.bytes = 0
+        self.by_type: Dict[str, int] = defaultdict(int)
+        self.bytes_by_type: Dict[str, int] = defaultdict(int)
+
+    def reset(self) -> None:
+        """Zero all counters (measurement windows)."""
+        self.__init__()
+
+    def record(self, msg: Message, size: int) -> None:
+        name = type(msg).__name__
+        self.messages += 1
+        self.bytes += size
+        self.by_type[name] += 1
+        self.bytes_by_type[name] += size
+
+    def snapshot(self) -> dict:
+        return {
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "by_type": dict(self.by_type),
+        }
+
+    def __repr__(self) -> str:
+        return f"<ChannelStats {self.messages} msgs, {self.bytes} B>"
+
+
+class ChannelEndpoint:
+    """One side of a control channel.
+
+    ``handler`` receives every inbound message.  :meth:`request` provides
+    xid-correlated request/reply: the callback fires instead of the
+    handler when the reply arrives.
+    """
+
+    def __init__(self, channel: "ControlChannel", name: str) -> None:
+        self._channel = channel
+        self.name = name
+        self.handler: Optional[Callable[[Message], None]] = None
+        self.on_connect: Optional[Callable[[], None]] = None
+        self.on_disconnect: Optional[Callable[[], None]] = None
+        self.sent = ChannelStats()
+        self.received = ChannelStats()
+        self._next_xid = 1
+        self._pending: Dict[int, Callable[[Message], None]] = {}
+        self.peer: "ChannelEndpoint" = None  # set by the channel
+
+    def send(self, msg: Message) -> int:
+        """Transmit ``msg``; assigns an xid when the caller left it 0."""
+        if not self._channel.connected:
+            raise ChannelClosedError(
+                f"{self.name}: channel is down, cannot send "
+                f"{type(msg).__name__}"
+            )
+        if msg.xid == 0:
+            msg.xid = self._next_xid
+            self._next_xid += 1
+        wire = encode_message(msg)
+        self.sent.record(msg, len(wire))
+        self._channel._deliver(self, wire)
+        return msg.xid
+
+    def request(self, msg: Message,
+                callback: Callable[[Message], None]) -> int:
+        """Send ``msg`` and route the same-xid reply to ``callback``."""
+        xid = self.send(msg)
+        self._pending[xid] = callback
+        return xid
+
+    def _receive(self, wire: bytes) -> None:
+        msg = decode_message(wire)
+        self.received.record(msg, len(wire))
+        # Only genuine replies take part in xid correlation: both ends
+        # assign xids independently, so an async event may coincide with
+        # a pending request's xid without being its answer.
+        if isinstance(msg, REPLY_TYPES):
+            pending = self._pending.pop(msg.xid, None)
+            if pending is not None:
+                pending(msg)
+                return
+        if self.handler is not None:
+            self.handler(msg)
+
+    def _connection_changed(self, up: bool) -> None:
+        if up and self.on_connect is not None:
+            self.on_connect()
+        if not up:
+            self._pending.clear()
+            if self.on_disconnect is not None:
+                self.on_disconnect()
+
+    def __repr__(self) -> str:
+        return f"<ChannelEndpoint {self.name}>"
+
+
+class ControlChannel:
+    """A bidirectional, ordered, lossless message pipe with latency.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel.
+    latency:
+        One-way propagation delay in seconds.  This is the dominant term
+        in reactive flow setup (benchmark E1) — a controller 5 ms away
+        costs every new flow ≥ 2×5 ms.
+    bandwidth_bps:
+        Serialisation rate; 0 means infinite (latency-only model).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: float = 0.001,
+        bandwidth_bps: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency
+        self.bandwidth_bps = bandwidth_bps
+        self.connected = False
+        self.switch_end = ChannelEndpoint(self, "switch")
+        self.controller_end = ChannelEndpoint(self, "controller")
+        self.switch_end.peer = self.controller_end
+        self.controller_end.peer = self.switch_end
+        self._busy_until: Dict[ChannelEndpoint, float] = {
+            self.switch_end: 0.0,
+            self.controller_end: 0.0,
+        }
+
+    def connect(self) -> None:
+        """Bring the channel up and notify both endpoints."""
+        if self.connected:
+            return
+        self.connected = True
+        self.switch_end._connection_changed(True)
+        self.controller_end._connection_changed(True)
+
+    def disconnect(self) -> None:
+        """Tear the channel down; in-flight messages are lost."""
+        if not self.connected:
+            return
+        self.connected = False
+        self.switch_end._connection_changed(False)
+        self.controller_end._connection_changed(False)
+
+    def _deliver(self, sender: ChannelEndpoint, wire: bytes) -> None:
+        receiver = sender.peer
+        depart = self.sim.now
+        if self.bandwidth_bps:
+            start = max(depart, self._busy_until[sender])
+            depart = start + len(wire) * 8 / self.bandwidth_bps
+            self._busy_until[sender] = depart
+        arrival_delay = (depart - self.sim.now) + self.latency
+        self.sim.schedule(arrival_delay, self._arrive, receiver, wire)
+
+    def _arrive(self, receiver: ChannelEndpoint, wire: bytes) -> None:
+        if not self.connected:
+            return  # lost in the disconnect
+        receiver._receive(wire)
+
+    def total_stats(self) -> dict:
+        """Combined both-direction counters (benchmark E9 reads this)."""
+        return {
+            "to_controller": self.switch_end.sent.snapshot(),
+            "to_switch": self.controller_end.sent.snapshot(),
+        }
+
+    def __repr__(self) -> str:
+        state = "up" if self.connected else "down"
+        return f"<ControlChannel {state} latency={self.latency * 1e3:.2f}ms>"

@@ -1,0 +1,145 @@
+"""Action primitive tests: rewrites, VLAN surgery, TTL, executor."""
+
+import pytest
+
+from repro.dataplane import (
+    DecTTL,
+    Group,
+    Match,
+    Meter,
+    Output,
+    PopVLAN,
+    PushVLAN,
+    SetDSCP,
+    SetEthDst,
+    SetEthSrc,
+    SetIPDst,
+    SetIPSrc,
+    SetL4Dst,
+    SetL4Src,
+    SetVLAN,
+    TTLExpired,
+    apply_actions,
+)
+from repro.errors import DataplaneError
+from repro.packet import Ethernet, EtherType, IPv4, Packet, TCP, UDP, VLAN
+
+
+def sample():
+    return (Ethernet(dst="00:00:00:00:00:02", src="00:00:00:00:00:01")
+            / IPv4(src="10.0.0.1", dst="10.0.0.2", ttl=5)
+            / UDP(src_port=1, dst_port=2) / b"payload")
+
+
+class TestRewrites:
+    def test_set_eth_fields(self):
+        pkt = sample()
+        SetEthSrc("00:00:00:00:00:aa").apply(pkt)
+        SetEthDst("00:00:00:00:00:bb").apply(pkt)
+        assert pkt[Ethernet].src == "00:00:00:00:00:aa"
+        assert pkt[Ethernet].dst == "00:00:00:00:00:bb"
+
+    def test_set_ip_fields(self):
+        pkt = sample()
+        SetIPSrc("1.1.1.1").apply(pkt)
+        SetIPDst("2.2.2.2").apply(pkt)
+        assert pkt[IPv4].src == "1.1.1.1"
+        assert pkt[IPv4].dst == "2.2.2.2"
+
+    def test_set_l4_fields_udp_and_tcp(self):
+        pkt = sample()
+        SetL4Src(7777).apply(pkt)
+        SetL4Dst(8888).apply(pkt)
+        assert (pkt[UDP].src_port, pkt[UDP].dst_port) == (7777, 8888)
+        tcp_pkt = Ethernet() / IPv4() / TCP(src_port=1, dst_port=2) / b""
+        SetL4Dst(443).apply(tcp_pkt)
+        assert tcp_pkt[TCP].dst_port == 443
+
+    def test_set_dscp(self):
+        pkt = sample()
+        SetDSCP(46).apply(pkt)
+        assert pkt[IPv4].dscp == 46
+
+    def test_rewrites_on_wrong_packet_raise(self):
+        arp_ish = Ethernet() / b""
+        with pytest.raises(DataplaneError):
+            SetIPDst("1.1.1.1").apply(arp_ish)
+        with pytest.raises(DataplaneError):
+            SetL4Dst(1).apply(Ethernet() / IPv4() / b"")
+
+    def test_validation(self):
+        with pytest.raises(DataplaneError):
+            SetDSCP(64)
+        with pytest.raises(DataplaneError):
+            SetL4Src(65536)
+        with pytest.raises(DataplaneError):
+            Output(-1)
+
+
+class TestVLANSurgery:
+    def test_push_then_pop_is_identity(self):
+        pkt = sample()
+        before = pkt.encode()
+        PushVLAN(100, pcp=3).apply(pkt)
+        assert pkt[VLAN].vid == 100
+        assert pkt[Ethernet].ethertype == EtherType.VLAN
+        assert pkt[VLAN].ethertype == EtherType.IPV4
+        PopVLAN().apply(pkt)
+        assert VLAN not in pkt
+        assert pkt.encode() == before
+
+    def test_pushed_frame_decodes(self):
+        pkt = sample()
+        PushVLAN(42).apply(pkt)
+        out = Packet.decode(pkt.encode())
+        assert out[VLAN].vid == 42
+        assert IPv4 in out
+
+    def test_set_vlan_rewrites_vid(self):
+        pkt = sample()
+        PushVLAN(10).apply(pkt)
+        SetVLAN(20).apply(pkt)
+        assert pkt[VLAN].vid == 20
+
+    def test_pop_without_tag_raises(self):
+        with pytest.raises(DataplaneError):
+            PopVLAN().apply(sample())
+
+
+class TestTTL:
+    def test_dec_ttl(self):
+        pkt = sample()
+        DecTTL().apply(pkt)
+        assert pkt[IPv4].ttl == 4
+
+    def test_expiry_raises(self):
+        pkt = sample()
+        pkt[IPv4].ttl = 1
+        with pytest.raises(TTLExpired):
+            DecTTL().apply(pkt)
+
+
+class TestExecutor:
+    def test_apply_actions_does_not_mutate_original(self):
+        pkt = sample()
+        rewritten, outs, groups, meters = apply_actions(
+            [SetIPDst("9.9.9.9"), Output(3)], pkt
+        )
+        assert pkt[IPv4].dst == "10.0.0.2"
+        assert rewritten[IPv4].dst == "9.9.9.9"
+        assert outs == [3]
+        assert groups == meters == []
+
+    def test_collects_groups_and_meters(self):
+        _, outs, groups, meters = apply_actions(
+            [Meter(5), Group(7), Output(1), Output(2)], sample()
+        )
+        assert outs == [1, 2]
+        assert groups == [7]
+        assert meters == [5]
+
+    def test_action_value_semantics(self):
+        assert Output(3) == Output(3)
+        assert Output(3) != Output(4)
+        assert SetIPDst("1.1.1.1") == SetIPDst("1.1.1.1")
+        assert len({Output(3), Output(3), Output(4)}) == 2

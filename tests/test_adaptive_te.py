@@ -1,0 +1,106 @@
+"""Adaptive TE: measurement-driven placement convergence."""
+
+import pytest
+
+from repro.apps import AdaptiveTE, Demand, TrafficEngineering
+from repro.core import ZenPlatform
+from repro.errors import ControllerError
+from repro.netem import CBRStream, FlowSink, Topology
+
+
+def diamond_platform():
+    """h1 -- s1 ={s2,s3}= s4 -- h2/h3: two 10 Mb/s arms."""
+    topo = Topology()
+    for _ in range(4):
+        topo.add_switch()
+    topo.add_link("s1", "s2", bandwidth_bps=10e6)
+    topo.add_link("s2", "s4", bandwidth_bps=10e6)
+    topo.add_link("s1", "s3", bandwidth_bps=10e6)
+    topo.add_link("s3", "s4", bandwidth_bps=10e6)
+    for name, switch in (("h1", "s1"), ("h4", "s1"),
+                         ("h2", "s4"), ("h3", "s4")):
+        topo.add_link(topo.add_host(name), switch,
+                      bandwidth_bps=100e6)
+    platform = ZenPlatform(topo, profile="proactive")
+    platform.te = platform.add_app(TrafficEngineering(
+        default_capacity_bps=10e6, strategy="greedy", admit_all=True,
+    ))
+    platform.adaptive = platform.add_app(AdaptiveTE(interval=0.5))
+    platform.start()
+    hosts = list(platform.net.hosts.values())
+    for a in hosts:
+        for b in hosts:
+            if a is not b:
+                a.add_static_arp(b.ip, b.mac)
+    for i, h in enumerate(hosts):
+        h.send_udp(hosts[(i + 1) % len(hosts)].ip, 7, 7, b"w")
+    platform.run(1.5)
+    return platform
+
+
+class TestMeasurement:
+    def test_measured_rates_track_reality(self):
+        platform = diamond_platform()
+        h1, h2 = platform.host("h1"), platform.host("h2")
+        platform.te.install([Demand(h1.ip, h2.ip, 1e6)])  # declared 1M
+        FlowSink(h2, 9000)
+        CBRStream(h1, h2.ip, rate_bps=6e6, packet_size=1000,
+                  duration=6.0)  # actually 6M
+        platform.run(5.0)
+        measured = platform.adaptive.measured_rate(h1.ip, h2.ip)
+        assert measured == pytest.approx(6e6, rel=0.2)
+
+    def test_replaces_when_declared_rates_are_wrong(self):
+        platform = diamond_platform()
+        h1, h4 = platform.host("h1"), platform.host("h4")
+        h2, h3 = platform.host("h2"), platform.host("h3")
+        # Declared: both tiny -> greedy may pack them on one arm.
+        platform.te.install([
+            Demand(h1.ip, h2.ip, 0.2e6),
+            Demand(h4.ip, h3.ip, 0.2e6),
+        ])
+        platform.run(0.2)
+        # Reality: both are 7 Mb/s elephants — together they exceed one
+        # 10 Mb/s arm and MUST be split.
+        FlowSink(h2, 9000)
+        FlowSink(h3, 9000)
+        CBRStream(h1, h2.ip, rate_bps=7e6, packet_size=1000,
+                  duration=12.0)
+        CBRStream(h4, h3.ip, rate_bps=7e6, packet_size=1000,
+                  duration=12.0)
+        platform.run(8.0)
+        assert platform.adaptive.replacements >= 1
+        result = platform.te.last_result
+        paths = [p for p in result.paths.values() if p]
+        assert len(paths) == 2
+        # After adaptation the two elephants use different arms.
+        arms = {tuple(p[1:-1]) for p in paths}
+        assert len(arms) == 2, paths
+        # And the adopted demand rates reflect reality.
+        for demand in platform.te.demands:
+            assert demand.rate_bps == pytest.approx(7e6, rel=0.35)
+
+    def test_no_replacement_when_declared_is_accurate(self):
+        platform = diamond_platform()
+        h1, h2 = platform.host("h1"), platform.host("h2")
+        platform.te.install([Demand(h1.ip, h2.ip, 5e6)])
+        FlowSink(h2, 9000)
+        CBRStream(h1, h2.ip, rate_bps=5e6, packet_size=1000,
+                  duration=6.0)
+        platform.run(5.0)
+        assert platform.adaptive.replacements == 0
+
+    def test_requires_te_app(self):
+        platform = ZenPlatform(Topology.single(2), profile="bare")
+        with pytest.raises(ControllerError):
+            platform.add_app(AdaptiveTE())
+
+    def test_stop_halts_polling(self):
+        platform = diamond_platform()
+        h1, h2 = platform.host("h1"), platform.host("h2")
+        platform.te.install([Demand(h1.ip, h2.ip, 1e6)])
+        platform.run(1.0)
+        platform.adaptive.stop()
+        samples = dict(platform.adaptive._last_sample)
+        platform.run(2.0)
+        assert platform.adaptive._last_sample == samples

@@ -1,0 +1,158 @@
+"""Unit and property tests for MAC/IPv4 address types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AddressError
+from repro.packet import BROADCAST_MAC, IPv4Address, IPv4Network, MACAddress
+
+
+class TestMACAddress:
+    def test_parse_colon_string(self):
+        mac = MACAddress("00:11:22:33:44:55")
+        assert mac.value == 0x001122334455
+
+    def test_parse_dash_string(self):
+        assert MACAddress("00-11-22-33-44-55") == MACAddress(
+            "00:11:22:33:44:55"
+        )
+
+    def test_roundtrip_via_bytes(self):
+        mac = MACAddress("de:ad:be:ef:00:01")
+        assert MACAddress(mac.packed()) == mac
+
+    def test_str_is_canonical(self):
+        assert str(MACAddress("DE:AD:BE:EF:00:01")) == "de:ad:be:ef:00:01"
+
+    def test_broadcast_detection(self):
+        assert BROADCAST_MAC.is_broadcast
+        assert BROADCAST_MAC.is_multicast
+        assert not MACAddress("00:11:22:33:44:55").is_broadcast
+
+    def test_multicast_detection(self):
+        assert MACAddress("01:80:c2:00:00:0e").is_multicast
+        assert not MACAddress("02:80:c2:00:00:0e").is_multicast
+
+    def test_local_macs_are_distinct_and_unicast(self):
+        macs = {MACAddress.local(i) for i in range(100)}
+        assert len(macs) == 100
+        assert all(not m.is_multicast for m in macs)
+
+    @pytest.mark.parametrize("bad", [
+        "00:11:22:33:44", "00:11:22:33:44:55:66", "0g:11:22:33:44:55",
+        "", "hello",
+    ])
+    def test_malformed_strings_rejected(self, bad):
+        with pytest.raises(AddressError):
+            MACAddress(bad)
+
+    def test_out_of_range_int_rejected(self):
+        with pytest.raises(AddressError):
+            MACAddress(1 << 48)
+        with pytest.raises(AddressError):
+            MACAddress(-1)
+
+    def test_wrong_byte_length_rejected(self):
+        with pytest.raises(AddressError):
+            MACAddress(b"\x00" * 5)
+
+    def test_equality_with_string(self):
+        assert MACAddress("00:11:22:33:44:55") == "00:11:22:33:44:55"
+        assert MACAddress("00:11:22:33:44:55") != "00:11:22:33:44:56"
+
+    def test_hashable_and_usable_as_dict_key(self):
+        table = {MACAddress("00:00:00:00:00:01"): 5}
+        assert table[MACAddress("00:00:00:00:00:01")] == 5
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_int_roundtrip_property(self, value):
+        mac = MACAddress(value)
+        assert MACAddress(str(mac)).value == value
+        assert MACAddress(mac.packed()).value == value
+
+
+class TestIPv4Address:
+    def test_parse_dotted_quad(self):
+        assert IPv4Address("10.0.0.1").value == 0x0A000001
+
+    def test_str_roundtrip(self):
+        assert str(IPv4Address("192.168.1.200")) == "192.168.1.200"
+
+    def test_packed_roundtrip(self):
+        ip = IPv4Address("172.16.254.3")
+        assert IPv4Address(ip.packed()) == ip
+
+    @pytest.mark.parametrize("bad", [
+        "10.0.0", "10.0.0.0.1", "10.0.0.256", "10.0.0.-1", "a.b.c.d",
+        "10.0.0.01",  # leading zero
+        "",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(AddressError):
+            IPv4Address(bad)
+
+    def test_broadcast_and_multicast(self):
+        assert IPv4Address("255.255.255.255").is_broadcast
+        assert IPv4Address("224.0.0.1").is_multicast
+        assert not IPv4Address("10.0.0.1").is_multicast
+
+    def test_ordering(self):
+        assert IPv4Address("10.0.0.1") < IPv4Address("10.0.0.2")
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_int_roundtrip_property(self, value):
+        ip = IPv4Address(value)
+        assert IPv4Address(str(ip)).value == value
+
+
+class TestIPv4Network:
+    def test_parse_cidr(self):
+        net = IPv4Network("10.1.2.3/24")
+        assert str(net) == "10.1.2.0/24"  # host bits zeroed
+        assert net.prefix_len == 24
+
+    def test_contains(self):
+        net = IPv4Network("10.0.0.0/8")
+        assert net.contains("10.255.255.255")
+        assert not net.contains("11.0.0.0")
+
+    def test_zero_prefix_contains_everything(self):
+        net = IPv4Network("0.0.0.0/0")
+        assert net.contains("1.2.3.4")
+        assert net.contains("255.255.255.255")
+
+    def test_slash32_is_exact(self):
+        net = IPv4Network("10.0.0.1/32")
+        assert net.contains("10.0.0.1")
+        assert not net.contains("10.0.0.2")
+
+    def test_netmask_and_broadcast(self):
+        net = IPv4Network("192.168.1.0/24")
+        assert str(net.netmask) == "255.255.255.0"
+        assert str(net.broadcast) == "192.168.1.255"
+
+    def test_hosts_enumeration(self):
+        net = IPv4Network("10.0.0.0/30")
+        assert [str(h) for h in net.hosts()] == ["10.0.0.1", "10.0.0.2"]
+
+    def test_host_index_bounds(self):
+        net = IPv4Network("10.0.0.0/30")
+        with pytest.raises(AddressError):
+            net.host(0)
+        with pytest.raises(AddressError):
+            net.host(3)
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(AddressError):
+            IPv4Network("10.0.0.0/33")
+        with pytest.raises(AddressError):
+            IPv4Network("10.0.0.0/x")
+        with pytest.raises(AddressError):
+            IPv4Network("10.0.0.0")  # missing prefix length
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1),
+           st.integers(min_value=0, max_value=32))
+    def test_network_contains_its_own_address(self, value, prefix):
+        net = IPv4Network(str(IPv4Address(value)), prefix)
+        assert net.contains(net.address)
+        assert net.contains(net.broadcast)

@@ -1,0 +1,110 @@
+"""Statistics helpers and report rendering."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    Series,
+    Table,
+    jain_fairness,
+    mean,
+    median,
+    percentile,
+    stddev,
+    summarise,
+)
+
+
+class TestStats:
+    def test_mean_median(self):
+        assert mean([1, 2, 3, 4]) == 2.5
+        assert median([1, 2, 3]) == 2
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_empty_inputs_are_nan(self):
+        assert math.isnan(mean([]))
+        assert math.isnan(percentile([], 50))
+        assert math.isnan(summarise([])["p99"])
+
+    def test_percentile_interpolation(self):
+        data = [0, 10]
+        assert percentile(data, 0) == 0
+        assert percentile(data, 50) == 5
+        assert percentile(data, 100) == 10
+        assert percentile([7], 99) == 7
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_stddev(self):
+        assert stddev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.138, rel=0.01)
+        assert stddev([5]) == 0.0
+
+    def test_jain_fairness(self):
+        assert jain_fairness([10, 10, 10]) == pytest.approx(1.0)
+        assert jain_fairness([30, 0, 0]) == pytest.approx(1 / 3)
+        assert jain_fairness([0, 0]) == 1.0
+
+    def test_summarise_shape(self):
+        summary = summarise(range(100))
+        assert summary["count"] == 100
+        assert summary["min"] == 0
+        assert summary["max"] == 99
+        assert summary["p50"] == pytest.approx(49.5)
+        assert summary["p99"] == pytest.approx(98.01)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=50))
+    def test_percentiles_are_monotone(self, values):
+        ps = [percentile(values, p) for p in (0, 25, 50, 75, 100)]
+        assert ps == sorted(ps)
+        assert ps[0] == min(values)
+        assert ps[-1] == max(values)
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1e6),
+                    min_size=1, max_size=50))
+    def test_jain_in_unit_interval(self, values):
+        f = jain_fairness(values)
+        assert 0 < f <= 1.0 + 1e-9
+
+
+class TestReport:
+    def test_table_renders_aligned(self):
+        table = Table("Demo", ["name", "value"])
+        table.add_row("alpha", 1)
+        table.add_row("b", 123456.0)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[2] and "value" in lines[2]
+        assert len({len(l) for l in lines[2:]}) <= 2  # consistent width
+
+    def test_row_arity_checked(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_cell_formatting(self):
+        table = Table("T", ["x"])
+        table.add_row(None)
+        table.add_row(float("nan"))
+        table.add_row(0.000123)
+        table.add_row(1234567.0)
+        table.add_row(3.14159)
+        col = [r["x"] for r in table.as_dicts()]
+        assert col[0] == "-"
+        assert col[1] == "nan"
+        assert col[2] == "0.000123"
+        assert "e+06" in col[3] or "1.23" in col[3]
+        assert col[4].startswith("3.14")
+
+    def test_series_is_a_table_with_x_axis(self):
+        series = Series("Fig 1", "load", ["reactive", "proactive"])
+        series.add_point(0.1, 5.0, 1.0)
+        series.add_point(0.2, 9.0, 1.0)
+        assert series.x_label == "load"
+        assert len(series.rows) == 2
+        assert series.columns == ["load", "reactive", "proactive"]

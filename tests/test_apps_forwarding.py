@@ -1,0 +1,195 @@
+"""Hub, learning switch, and proactive router app tests."""
+
+import pytest
+
+from repro.apps import HubApp, LearningSwitch
+from repro.controller import Controller, HostTracker, TopologyDiscovery
+from repro.core import ZenPlatform
+from repro.netem import Network, Topology
+
+
+def reactive(topology, **kw):
+    return ZenPlatform(topology, profile="reactive", **kw).start()
+
+
+class TestHub:
+    def test_connectivity_without_any_flows(self):
+        net = Network(Topology.single(3))
+        controller = Controller(net.sim)
+        hub = controller.add_app(HubApp())
+        for name in net.switches:
+            channel = net.make_channel(name)
+            controller.accept_channel(channel)
+            channel.connect()
+        net.run(0.5)
+        assert net.ping_all(count=1, settle=3.0) == 1.0
+        assert net.switch("s1").flow_count() == 0
+        assert hub.packets_flooded > 0
+
+    def test_every_packet_visits_controller(self):
+        net = Network(Topology.single(2))
+        controller = Controller(net.sim)
+        controller.add_app(HubApp())
+        for name in net.switches:
+            channel = net.make_channel(name)
+            controller.accept_channel(channel)
+            channel.connect()
+        net.run(0.5)
+        h1, h2 = net.host("h1"), net.host("h2")
+        session = h1.ping(h2.ip, count=5, interval=0.1)
+        net.run(5.0)
+        assert session.received == 5
+        # ARP req+rep + 5×(echo+reply) = at least 12 punts.
+        assert net.switch("s1").packets_to_controller >= 12
+
+
+class TestLearningSwitch:
+    def test_connectivity_and_learning(self):
+        platform = reactive(Topology.linear(3, hosts_per_switch=1,
+                                            bandwidth_bps=1e9))
+        assert platform.ping_all(count=2, settle=5.0) == 1.0
+        app = platform.learning
+        # Every switch learned both endpoint MACs of the traffic it saw.
+        h1 = platform.host("h1")
+        s1 = platform.switch("s1").dpid
+        assert app.lookup(s1, h1.mac) == platform.net.port_of("s1", "h1")
+
+    def test_flows_installed_cut_controller_out(self):
+        platform = reactive(Topology.single(2, bandwidth_bps=1e9))
+        h1, h2 = platform.host("h1"), platform.host("h2")
+        first = h1.ping(h2.ip, count=1)
+        platform.run(3.0)
+        punts_after_first = platform.switch("s1").packets_to_controller
+        again = h1.ping(h2.ip, count=5, interval=0.01)
+        platform.run(3.0)
+        assert again.received == 5
+        # Steady state: echo traffic rides installed flows.
+        assert (platform.switch("s1").packets_to_controller
+                <= punts_after_first + 2)
+
+    def test_exact_match_mode_installs_microflows(self):
+        platform = ZenPlatform(
+            Topology.single(2, bandwidth_bps=1e9),
+            profile="reactive", exact_match=True,
+        ).start()
+        h1, h2 = platform.host("h1"), platform.host("h2")
+        h1.add_static_arp(h2.ip, h2.mac)
+        h2.add_static_arp(h1.ip, h1.mac)
+        # h2 must be heard from once before its location is learnable.
+        h2.send_udp(h1.ip, 4000, 9000, b"hello")
+        platform.run(1.0)
+        for port in (5001, 5002, 5003):
+            h1.send_udp(h2.ip, port, 9000, b"x")
+        platform.run(2.0)
+        dp = platform.switch("s1")
+        # One rule per distinct 5-tuple direction (plus none for dst-only).
+        microflows = [
+            e for t in dp.tables for e in t
+            if "l4_src" in e.match
+        ]
+        assert len(microflows) == 3
+
+    def test_unlearning_on_port_down(self):
+        platform = reactive(Topology.linear(2, hosts_per_switch=1,
+                                            bandwidth_bps=1e9))
+        platform.ping_all(count=1, settle=3.0)
+        app = platform.learning
+        s1 = platform.switch("s1").dpid
+        h2 = platform.host("h2")
+        trunk = platform.net.port_of("s1", "s2")
+        assert app.lookup(s1, h2.mac) == trunk
+        platform.fail_link("s1", "s2")
+        platform.run(0.5)
+        assert app.lookup(s1, h2.mac) == -1
+
+    def test_flows_idle_out(self):
+        platform = ZenPlatform(
+            Topology.single(2, bandwidth_bps=1e9), profile="reactive",
+        ).start()
+        platform.ping_all(count=1, settle=3.0)
+        dp = platform.switch("s1")
+        learned = [e for t in dp.tables for e in t if e.priority == 100]
+        assert learned
+        platform.run(15.0)  # default idle timeout is 10 s
+        learned = [e for t in dp.tables for e in t if e.priority == 100]
+        assert not learned
+
+
+class TestProactiveRouter:
+    def test_all_pairs_on_redundant_topology(self):
+        platform = ZenPlatform(
+            Topology.ring(4, hosts_per_switch=1, bandwidth_bps=1e9)
+        ).start()
+        assert platform.ping_all(count=2, settle=5.0) == 1.0
+
+    def test_rules_are_proactive(self):
+        platform = ZenPlatform(
+            Topology.linear(3, hosts_per_switch=1, bandwidth_bps=1e9)
+        ).start()
+        h1, h3 = platform.host("h1"), platform.host("h3")
+        # Prime host discovery with one exchange.
+        h1.ping(h3.ip, count=1)
+        platform.run(3.0)
+        router = platform.router
+        # Every switch must now hold a rule for both hosts.
+        assert router.rules_installed == 2 * 3
+        # Steady state: the only packet-ins are LLDP discovery probes.
+        from repro.controller import PacketInEvent
+        from repro.packet import LLDP
+
+        data_punts = []
+        platform.controller.subscribe(
+            PacketInEvent,
+            lambda ev: data_punts.append(ev)
+            if ev.packet.get(LLDP) is None else None,
+        )
+        session = h1.ping(h3.ip, count=5, interval=0.05)
+        platform.run(3.0)
+        assert session.received == 5
+        assert data_punts == []  # zero controller involvement
+
+    def test_reroute_after_link_failure(self):
+        platform = ZenPlatform(
+            Topology.ring(4, hosts_per_switch=1, bandwidth_bps=1e9)
+        ).start()
+        h1, h2 = platform.host("h1"), platform.host("h2")
+        warm = h1.ping(h2.ip, count=1)
+        platform.run(3.0)
+        assert warm.received == 1
+        platform.fail_link("s1", "s2")
+        platform.run(1.0)  # port-down -> LinkVanished -> rebuild
+        session = h1.ping(h2.ip, count=3, interval=0.1)
+        platform.run(5.0)
+        assert session.received == 3
+
+    def test_flood_ports_form_a_tree(self):
+        platform = ZenPlatform(
+            Topology.ring(4, hosts_per_switch=1, bandwidth_bps=1e9)
+        ).start()
+        router = platform.router
+        graph = platform.discovery.graph()
+        # Sum of inter-switch flood ports across the ring must be
+        # 2 × (n-1) = 6 (a tree), not 8 (the full cycle).
+        inter_switch = 0
+        for name, dp in platform.net.switches.items():
+            ports = router.flood_ports(dp.dpid)
+            inter_switch += len(
+                ports & platform.discovery.switch_ports_in_use(dp.dpid)
+            )
+        assert inter_switch == 2 * (graph.number_of_nodes() - 1)
+
+    def test_broadcast_does_not_storm_on_ring(self):
+        platform = ZenPlatform(
+            Topology.ring(4, hosts_per_switch=1, bandwidth_bps=1e9)
+        ).start()
+        h1 = platform.host("h1")
+        before = sum(dp.packets_received
+                     for dp in platform.net.switches.values())
+        # ARP for a nonexistent IP: pure broadcast, never answered.
+        h1.send_udp("10.9.9.9", 1, 2, b"x")
+        platform.run(5.0)
+        after = sum(dp.packets_received
+                    for dp in platform.net.switches.values())
+        # 3 ARP retries over a 4-switch tree: bounded, not exponential
+        # (LLDP probes continue in the background; allow generous slack).
+        assert after - before < 120

@@ -1,0 +1,209 @@
+"""Distributed baseline tests: spanning tree and link-state routing."""
+
+import pytest
+
+from repro.baselines import (
+    BPDU,
+    LinkStateNetwork,
+    LSMessage,
+    SpanningTreeNetwork,
+    StpSwitch,
+)
+from repro.netem import Network, Topology
+from repro.packet import MACAddress, Packet, Ethernet
+
+
+def build_stp(topo, **kw):
+    net = Network(topo)
+    return net, SpanningTreeNetwork(net, **kw)
+
+
+def build_ls(topo, **kw):
+    net = Network(topo)
+    return net, LinkStateNetwork(net, **kw)
+
+
+class TestBpduCodec:
+    def test_roundtrip(self):
+        frame = (Ethernet(dst="01:80:c2:00:00:00",
+                          src="02:00:00:00:00:01", ethertype=0x88B5)
+                 / BPDU(root=1, cost=2, bridge=3, port=4,
+                        tc_deadline=9.5))
+        out = Packet.decode(frame.encode())
+        bpdu = out[BPDU]
+        assert bpdu.priority_vector() == (1, 2, 3, 4)
+        assert bpdu.tc_deadline == 9.5
+
+
+class TestLsCodec:
+    def test_hello_roundtrip(self):
+        frame = (Ethernet(dst="01:80:c2:00:00:0f",
+                          src="02:00:00:00:00:01", ethertype=0x88B6)
+                 / LSMessage.hello(7))
+        out = Packet.decode(frame.encode())[LSMessage]
+        assert out.is_hello and out.origin == 7
+
+    def test_lsa_roundtrip(self):
+        macs = [MACAddress.local(i) for i in (1, 2)]
+        frame = (Ethernet(dst="01:80:c2:00:00:0f",
+                          src="02:00:00:00:00:01", ethertype=0x88B6)
+                 / LSMessage.lsa(9, 42, [1, 2, 3], macs))
+        out = Packet.decode(frame.encode())[LSMessage]
+        assert out.is_lsa
+        assert (out.origin, out.seq) == (9, 42)
+        assert out.neighbours == [1, 2, 3]
+        assert out.hosts == macs
+
+
+class TestSpanningTree:
+    def test_lowest_bridge_id_becomes_root(self):
+        net, stp = build_stp(Topology.ring(4))
+        stp.converge(5.0)
+        assert stp.is_converged
+        assert stp.root_bridge == "s1"
+        assert stp.agents["s1"].is_root_bridge
+
+    def test_ring_blocks_exactly_one_port(self):
+        net, stp = build_stp(Topology.ring(4))
+        stp.converge(5.0)
+        assert stp.blocked_ports() == 1
+
+    def test_mesh_blocks_redundant_links(self):
+        net, stp = build_stp(Topology.mesh(4))
+        stp.converge(5.0)
+        assert stp.is_converged
+        # Full mesh: 6 switch links, tree needs 3 -> 3 links blocked.
+        assert stp.blocked_ports() == 3
+
+    def test_connectivity_on_loop_topology(self):
+        net, stp = build_stp(Topology.ring(4, hosts_per_switch=1,
+                                           bandwidth_bps=1e9))
+        stp.converge(5.0)
+        assert net.ping_all(count=1, settle=3.0) == 1.0
+
+    def test_no_broadcast_storm(self):
+        net, stp = build_stp(Topology.ring(4, hosts_per_switch=1,
+                                           bandwidth_bps=1e9))
+        stp.converge(5.0)
+        before = sum(dp.packets_forwarded
+                     for dp in net.switches.values())
+        # Unanswerable broadcast: ARP for a ghost address.
+        net.host("h1").send_udp("10.9.9.9", 1, 2, b"")
+        net.run(5.0)
+        after = sum(dp.packets_forwarded for dp in net.switches.values())
+        # Hello BPDUs dominate; a storm would be thousands of frames.
+        assert after - before < 300
+
+    def test_failure_reopens_blocked_port(self):
+        net, stp = build_stp(Topology.ring(4, hosts_per_switch=1,
+                                           bandwidth_bps=1e9))
+        stp.converge(5.0)
+        assert stp.blocked_ports() == 1
+        net.fail_link("s1", "s2")
+        net.run(8.0)
+        assert stp.blocked_ports() == 0  # chain now, no redundancy
+        assert net.ping_all(count=1, settle=5.0) == 1.0
+
+    def test_convergence_flushes_stale_flows(self):
+        net, stp = build_stp(Topology.ring(4, hosts_per_switch=1,
+                                           bandwidth_bps=1e9))
+        stp.converge(5.0)
+        net.ping_all(count=1, settle=3.0)  # populate learned state
+        net.fail_link("s1", "s2")
+        net.run(8.0)
+        h1, h2 = net.host("h1"), net.host("h2")
+        session = h1.ping(h2.ip, count=3, interval=0.2)
+        net.run(8.0)
+        assert session.received == 3
+
+    def test_role_changes_counted(self):
+        net, stp = build_stp(Topology.ring(4))
+        stp.converge(5.0)
+        changes = {n: a.role_changes for n, a in stp.agents.items()}
+        net.run(10.0)
+        # Steady state: no further role changes.
+        assert {n: a.role_changes for n, a in stp.agents.items()} == changes
+
+
+class TestLinkState:
+    def test_full_convergence(self):
+        net, ls = build_ls(Topology.ring(4, hosts_per_switch=1,
+                                         bandwidth_bps=1e9))
+        ls.converge(5.0)
+        assert ls.is_converged
+        for agent in ls.agents.values():
+            assert agent.graph().number_of_edges() == 4
+
+    def test_connectivity(self):
+        net, ls = build_ls(Topology.ring(4, hosts_per_switch=1,
+                                         bandwidth_bps=1e9))
+        ls.converge(5.0)
+        assert net.ping_all(count=1, settle=3.0) == 1.0
+
+    def test_routes_are_shortest(self):
+        net, ls = build_ls(Topology.ring(5, hosts_per_switch=1,
+                                         bandwidth_bps=1e9))
+        ls.converge(5.0)
+        net.ping_all(count=1, settle=3.0)
+        # s1's route to h3 (attached to s3) must leave via s2 (2 hops),
+        # not via s5 (3 hops).
+        agent = ls.agents["s1"]
+        h3 = net.host("h3")
+        out_port = agent.routes.get(h3.mac)
+        assert out_port == net.port_of("s1", "s2")
+
+    def test_failure_reroutes_via_dead_interval(self):
+        net, ls = build_ls(Topology.ring(4, hosts_per_switch=1,
+                                         bandwidth_bps=1e9),
+                           hello_interval=0.5)
+        ls.converge(5.0)
+        net.ping_all(count=1, settle=3.0)
+        t_fail = net.sim.now
+        net.fail_link("s1", "s2")
+        net.run(8.0)
+        detect_delay = ls.last_route_change() - t_fail
+        # Hello-based detection: bounded below by ~dead interval.
+        assert 0.5 < detect_delay < 4.0
+        h1, h2 = net.host("h1"), net.host("h2")
+        session = h1.ping(h2.ip, count=3, interval=0.2)
+        net.run(6.0)
+        assert session.received == 3
+
+    def test_carrier_detect_is_faster(self):
+        def failover_delay(carrier):
+            net, ls = build_ls(
+                Topology.ring(4, hosts_per_switch=1, bandwidth_bps=1e9),
+                hello_interval=0.5, carrier_detect=carrier,
+            )
+            ls.converge(5.0)
+            net.ping_all(count=1, settle=3.0)
+            t_fail = net.sim.now
+            net.fail_link("s1", "s2")
+            net.run(8.0)
+            return ls.last_route_change() - t_fail
+
+        assert failover_delay(True) < failover_delay(False)
+
+    def test_host_learning_excludes_switch_ports(self):
+        net, ls = build_ls(Topology.linear(2, hosts_per_switch=1,
+                                           bandwidth_bps=1e9))
+        ls.converge(5.0)
+        net.ping_all(count=1, settle=3.0)
+        for agent in ls.agents.values():
+            for mac in agent.local_hosts:
+                host_macs = {h.mac for h in net.hosts.values()}
+                assert mac in host_macs
+
+    def test_lsdb_consistency(self):
+        net, ls = build_ls(Topology.mesh(4, hosts_per_switch=1,
+                                         bandwidth_bps=1e9))
+        ls.converge(5.0)
+        net.ping_all(count=1, settle=3.0)
+        # Every agent's LSDB must agree on the adjacency sets.
+        reference = {
+            origin: record.neighbours
+            for origin, record in ls.agents["s1"].lsdb.items()
+        }
+        for agent in ls.agents.values():
+            view = {o: r.neighbours for o, r in agent.lsdb.items()}
+            assert view == reference

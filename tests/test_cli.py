@@ -1,0 +1,64 @@
+"""CLI smoke tests (argument handling and end-to-end demo runs)."""
+
+import pytest
+
+from repro.cli import build_topology, main
+
+
+class TestBuildTopology:
+    @pytest.mark.parametrize("name", [
+        "linear", "single", "ring", "star", "tree", "fat_tree",
+        "mesh", "waxman",
+    ])
+    def test_every_builder_validates(self, name):
+        topo = build_topology(name, 4, 1e9)
+        topo.validate()
+
+    def test_fat_tree_size_rounded_to_even(self):
+        topo = build_topology("fat_tree", 3, 1e9)
+        assert len(topo.switches) == 20  # k=4
+
+    def test_unknown_name_exits(self):
+        with pytest.raises(SystemExit):
+            build_topology("donut", 4, 1e9)
+
+
+class TestCommands:
+    def test_demo_succeeds_on_ring(self, capsys):
+        code = main(["demo", "--topology", "ring", "--size", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "All-pairs ping delivery: 100%" in out
+        assert "Per-switch state" in out
+
+    def test_demo_reactive_profile(self, capsys):
+        code = main(["demo", "--topology", "single", "--size", "3",
+                     "--profile", "reactive"])
+        assert code == 0
+        assert "100%" in capsys.readouterr().out
+
+    def test_demo_is_deterministic(self, capsys):
+        main(["demo", "--topology", "linear", "--size", "3",
+              "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["demo", "--topology", "linear", "--size", "3",
+              "--seed", "5"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_topology_description(self, capsys):
+        code = main(["topology", "fat_tree", "--size", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "32 switch-to-switch" in out
+
+    def test_bench_listing(self, capsys):
+        code = main(["bench"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for exp_id in ("E1", "E10", "A2"):
+            assert exp_id in out
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

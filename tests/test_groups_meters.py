@@ -1,0 +1,177 @@
+"""Group table and meter semantics."""
+
+import pytest
+
+from repro.dataplane import (
+    Bucket,
+    FlowKey,
+    GroupEntry,
+    GroupTable,
+    GroupType,
+    MeterEntry,
+    MeterTable,
+    Output,
+)
+from repro.errors import DataplaneError
+from repro.packet import Ethernet, IPv4, UDP
+
+
+def key(sport=1):
+    pkt = (Ethernet(dst="00:00:00:00:00:02", src="00:00:00:00:00:01")
+           / IPv4(src="10.0.0.1", dst="10.0.0.2")
+           / UDP(src_port=sport, dst_port=9) / b"")
+    return FlowKey.from_packet(pkt, in_port=1)
+
+
+def always_live(_port):
+    return True
+
+
+class TestGroupTypes:
+    def test_all_returns_every_bucket(self):
+        group = GroupEntry(1, GroupType.ALL,
+                           [Bucket([Output(1)]), Bucket([Output(2)])])
+        assert len(group.select_buckets(key(), always_live)) == 2
+
+    def test_indirect_requires_single_bucket(self):
+        with pytest.raises(DataplaneError):
+            GroupEntry(1, GroupType.INDIRECT,
+                       [Bucket([Output(1)]), Bucket([Output(2)])])
+        group = GroupEntry(1, GroupType.INDIRECT, [Bucket([Output(3)])])
+        assert group.select_buckets(key(), always_live)[0].actions == [
+            Output(3)
+        ]
+
+    def test_select_is_deterministic_per_flow(self):
+        group = GroupEntry(1, GroupType.SELECT,
+                           [Bucket([Output(1)]), Bucket([Output(2)])])
+        first = group.select_buckets(key(5), always_live)
+        for _ in range(10):
+            assert group.select_buckets(key(5), always_live) == first
+
+    def test_select_spreads_different_flows(self):
+        group = GroupEntry(1, GroupType.SELECT,
+                           [Bucket([Output(1)]), Bucket([Output(2)])])
+        chosen = {
+            group.select_buckets(key(sport), always_live)[0].actions[0].port
+            for sport in range(64)
+        }
+        assert chosen == {1, 2}
+
+    def test_select_respects_weights(self):
+        group = GroupEntry(1, GroupType.SELECT, [
+            Bucket([Output(1)], weight=9),
+            Bucket([Output(2)], weight=1),
+        ])
+        counts = {1: 0, 2: 0}
+        for sport in range(500):
+            port = group.select_buckets(key(sport),
+                                        always_live)[0].actions[0].port
+            counts[port] += 1
+        assert counts[1] > counts[2] * 3
+
+    def test_fast_failover_prefers_first_live(self):
+        group = GroupEntry(1, GroupType.FAST_FAILOVER, [
+            Bucket([Output(1)], watch_port=1),
+            Bucket([Output(2)], watch_port=2),
+        ])
+        live = {1: True, 2: True}
+        pick = group.select_buckets(key(), lambda p: live[p])
+        assert pick[0].actions == [Output(1)]
+        live[1] = False
+        pick = group.select_buckets(key(), lambda p: live[p])
+        assert pick[0].actions == [Output(2)]
+
+    def test_fast_failover_all_dead_returns_nothing(self):
+        group = GroupEntry(1, GroupType.FAST_FAILOVER, [
+            Bucket([Output(1)], watch_port=1),
+        ])
+        assert group.select_buckets(key(), lambda p: False) == []
+
+    def test_live_bucket_count(self):
+        group = GroupEntry(1, GroupType.FAST_FAILOVER, [
+            Bucket([Output(1)], watch_port=1),
+            Bucket([Output(2)], watch_port=2),
+        ])
+        assert group.live_bucket_count(lambda p: p == 2) == 1
+
+    def test_validation(self):
+        with pytest.raises(DataplaneError):
+            GroupEntry(1, "bogus", [Bucket([Output(1)])])
+        with pytest.raises(DataplaneError):
+            GroupEntry(1, GroupType.ALL, [])
+        with pytest.raises(DataplaneError):
+            Bucket([Output(1)], weight=0)
+
+
+class TestGroupTable:
+    def test_add_get_delete(self):
+        table = GroupTable()
+        table.add(GroupEntry(7, GroupType.ALL, [Bucket([Output(1)])]))
+        assert 7 in table
+        assert table.get(7).group_id == 7
+        table.delete(7)
+        assert 7 not in table
+        with pytest.raises(DataplaneError):
+            table.get(7)
+
+    def test_duplicate_add_rejected(self):
+        table = GroupTable()
+        table.add(GroupEntry(7, GroupType.ALL, [Bucket([Output(1)])]))
+        with pytest.raises(DataplaneError):
+            table.add(GroupEntry(7, GroupType.ALL, [Bucket([Output(2)])]))
+
+    def test_modify_requires_existing(self):
+        table = GroupTable()
+        with pytest.raises(DataplaneError):
+            table.modify(GroupEntry(7, GroupType.ALL,
+                                    [Bucket([Output(1)])]))
+
+
+class TestMeters:
+    def test_burst_then_throttle(self):
+        meter = MeterEntry(1, rate_bps=8000, burst_bytes=1000)  # 1 KB/s
+        assert meter.allow(1000, now=0.0)   # consumes the whole bucket
+        assert not meter.allow(100, now=0.0)
+        # After 0.1 s, 100 bytes of tokens have accrued.
+        assert meter.allow(100, now=0.1)
+        assert not meter.allow(100, now=0.1)
+
+    def test_sustained_rate_enforced(self):
+        meter = MeterEntry(1, rate_bps=80_000, burst_bytes=1000)  # 10 KB/s
+        passed = 0
+        t = 0.0
+        for _ in range(1000):  # offer 100 KB over 1 s in 100 B packets
+            t += 0.001
+            if meter.allow(100, now=t):
+                passed += 1
+        # ~10 KB/s sustained plus the 1 KB initial burst.
+        assert 90 <= passed <= 120
+
+    def test_bucket_never_exceeds_burst(self):
+        meter = MeterEntry(1, rate_bps=8_000_000, burst_bytes=500)
+        assert not meter.allow(501, now=100.0)  # long idle, still capped
+        assert meter.allow(500, now=100.0)
+
+    def test_counters_and_drop_rate(self):
+        meter = MeterEntry(1, rate_bps=8000, burst_bytes=100)
+        meter.allow(100, now=0.0)
+        meter.allow(100, now=0.0)
+        assert meter.passed_packets == 1
+        assert meter.dropped_packets == 1
+        assert meter.drop_rate == 0.5
+
+    def test_validation(self):
+        with pytest.raises(DataplaneError):
+            MeterEntry(1, rate_bps=0)
+
+    def test_meter_table_crud(self):
+        table = MeterTable()
+        table.add(MeterEntry(1, rate_bps=1000))
+        with pytest.raises(DataplaneError):
+            table.add(MeterEntry(1, rate_bps=1000))
+        table.modify(MeterEntry(1, rate_bps=2000))
+        assert table.get(1).rate_bps == 2000
+        table.delete(1)
+        with pytest.raises(DataplaneError):
+            table.get(1)

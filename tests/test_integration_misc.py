@@ -1,0 +1,185 @@
+"""Cross-layer integration tests for paths not covered elsewhere:
+VLAN tagging across a network, TTL decrement chains, keepalives,
+stats kinds through handles, and eviction notifications."""
+
+import pytest
+
+from repro.controller import Controller
+from repro.core import ZenPlatform
+from repro.dataplane import (
+    Datapath,
+    DecTTL,
+    FlowEntry,
+    Match,
+    Output,
+    PopVLAN,
+    PushVLAN,
+    VLAN_ABSENT,
+)
+from repro.netem import Network, Tap, Topology
+from repro.packet import Ethernet, ICMP, IPv4, UDP, VLAN
+from repro.sim import Simulator
+from repro.southbound import (
+    ControlChannel,
+    EchoRequest,
+    StatsKind,
+    SwitchAgent,
+)
+
+
+class TestVlanTransportEndToEnd:
+    """A provider-edge scenario: tag at ingress, carry tagged across
+    the core, pop at egress — hosts never see the tag."""
+
+    def build(self):
+        net = Network(Topology.linear(3, hosts_per_switch=1,
+                                      bandwidth_bps=1e9),
+                      miss_behaviour="drop")
+        h1, h3 = net.host("h1"), net.host("h3")
+        h1.add_static_arp(h3.ip, h3.mac)
+        h3.add_static_arp(h1.ip, h1.mac)
+        s1, s2, s3 = (net.switch(n) for n in ("s1", "s2", "s3"))
+        p = net.port_of
+        # Ingress s1: tag traffic from h1, forward to core.
+        s1.install_flow(FlowEntry(
+            Match(in_port=p("s1", "h1"), vlan_vid=VLAN_ABSENT),
+            [PushVLAN(100), Output(p("s1", "s2"))], priority=10))
+        # Core s2: switch on the tag only.
+        s2.install_flow(FlowEntry(
+            Match(vlan_vid=100, in_port=p("s2", "s1")),
+            [Output(p("s2", "s3"))], priority=10))
+        s2.install_flow(FlowEntry(
+            Match(vlan_vid=100, in_port=p("s2", "s3")),
+            [Output(p("s2", "s1"))], priority=10))
+        # Egress s3: pop and deliver.
+        s3.install_flow(FlowEntry(
+            Match(vlan_vid=100, in_port=p("s3", "s2")),
+            [PopVLAN(), Output(p("s3", "h3"))], priority=10))
+        # Reverse direction mirrors it.
+        s3.install_flow(FlowEntry(
+            Match(in_port=p("s3", "h3"), vlan_vid=VLAN_ABSENT),
+            [PushVLAN(100), Output(p("s3", "s2"))], priority=10))
+        s1.install_flow(FlowEntry(
+            Match(vlan_vid=100, in_port=p("s1", "s2")),
+            [PopVLAN(), Output(p("s1", "h1"))], priority=10))
+        return net, h1, h3
+
+    def test_core_carries_tagged_hosts_see_untagged(self):
+        net, h1, h3 = self.build()
+        core_tap = Tap(net.link("s2", "s3"))
+        host_frames = []
+        h3.on_receive = lambda pkt: host_frames.append(pkt)
+        session = h1.ping(h3.ip, count=2, interval=0.1)
+        net.run(3.0)
+        assert session.received == 2
+        # Every frame on the core trunk is tagged with VID 100.
+        core_data = [r for r in core_tap if ICMP in r.packet]
+        assert core_data
+        assert all(VLAN in r.packet
+                   and r.packet[VLAN].vid == 100 for r in core_data)
+        # Frames delivered to the host are untagged.
+        delivered = [pkt for pkt in host_frames if ICMP in pkt]
+        assert delivered
+        assert all(VLAN not in pkt for pkt in delivered)
+
+
+class TestTTLChain:
+    def test_ttl_decrements_per_hop_and_expires(self):
+        net = Network(Topology.linear(4, hosts_per_switch=1,
+                                      bandwidth_bps=1e9),
+                      miss_behaviour="drop")
+        h1, h4 = net.host("h1"), net.host("h4")
+        h1.add_static_arp(h4.ip, h4.mac)
+        # Router-style: every switch decrements TTL then forwards h1->h4.
+        chain = ["s1", "s2", "s3", "s4"]
+        for here, there in zip(chain, chain[1:]):
+            net.switch(here).install_flow(FlowEntry(
+                Match(eth_dst=h4.mac),
+                [DecTTL(), Output(net.port_of(here, there))],
+                priority=10))
+        net.switch("s4").install_flow(FlowEntry(
+            Match(eth_dst=h4.mac),
+            [DecTTL(), Output(net.port_of("s4", "h4"))], priority=10))
+        got = []
+        h4.on_receive = lambda pkt: got.append(pkt)
+        h1.send_udp(h4.ip, 1, 9, b"x")  # default TTL 64
+        net.run(1.0)
+        data = [p for p in got if UDP in p]
+        assert len(data) == 1
+        assert data[0][IPv4].ttl == 64 - 4
+        # A TTL that expires mid-path punts instead of delivering.
+        punted = []
+        net.switch("s2").on_packet_in = (
+            lambda pkt, port, reason: punted.append(reason))
+        # TTL 2 survives s1's decrement and expires at s2.
+        frame = (Ethernet(dst=h4.mac, src=h1.mac)
+                 / IPv4(src=h1.ip, dst=h4.ip, ttl=2)
+                 / UDP(src_port=1, dst_port=9) / b"dies")
+        h1.send_frame(frame)
+        net.run(1.0)
+        assert "ttl_expired" in punted
+        assert len([p for p in got if UDP in p]) == 1  # no new delivery
+
+
+class TestKeepalive:
+    def test_controller_answers_switch_echoes(self):
+        sim = Simulator()
+        controller = Controller(sim)
+        dp = Datapath(1, sim)
+        dp.add_port(1)
+        channel = ControlChannel(sim, latency=0.001)
+        SwitchAgent(dp, channel)
+        controller.accept_channel(channel)
+        channel.connect()
+        sim.run_until_idle()
+        replies = []
+        channel.switch_end.request(EchoRequest(b"alive?"),
+                                   replies.append)
+        sim.run_until_idle()
+        assert len(replies) == 1
+        assert replies[0].data == b"alive?"
+
+
+class TestStatsThroughHandles:
+    def test_table_and_aggregate_stats(self, linear3):
+        platform = linear3
+        platform.ping_all(count=1, settle=3.0)
+        handle = platform.controller.switch(1)
+        got = {}
+        handle.request_stats(StatsKind.TABLE,
+                             lambda r: got.__setitem__("table", r))
+        handle.request_stats(StatsKind.AGGREGATE,
+                             lambda r: got.__setitem__("agg", r))
+        platform.run(0.5)
+        tables = got["table"].entries
+        assert tables[0]["lookups"] > 0
+        agg = got["agg"].entries[0]
+        assert agg["flows"] == platform.switch("s1").flow_count()
+        assert agg["packets"] > 0
+
+
+class TestEvictionNotification:
+    def test_lru_eviction_reported_to_controller(self):
+        platform = ZenPlatform(
+            Topology.single(2, bandwidth_bps=1e9),
+            profile="bare",
+            table_capacity=3,
+            eviction_policy="lru",
+        ).start()
+        from repro.controller import FlowRemovedEvent
+        from repro.southbound import FlowMod
+
+        evictions = []
+        platform.controller.subscribe(
+            FlowRemovedEvent,
+            lambda ev: evictions.append(ev)
+            if ev.reason == "eviction" else None,
+        )
+        handle = platform.controller.switch(1)
+        # The LLDP punt rule occupies one slot; four more overflow.
+        for port in range(4):
+            handle.add_flow(Match(l4_dst=port), [Output(1)],
+                            priority=10, notify_removed=True)
+        platform.run(0.5)
+        assert len(evictions) >= 1
+        assert platform.switch("s1").flow_count() <= 3

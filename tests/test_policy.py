@@ -1,0 +1,210 @@
+"""Policy algebra tests: compilation semantics and end-to-end install."""
+
+import pytest
+
+from repro.core import (
+    ZenPlatform,
+    compile_policy,
+    drop,
+    filter_,
+    flood,
+    fwd,
+    ifte,
+    install_policy,
+    mod,
+    punt,
+)
+from repro.dataplane import (
+    FlowKey,
+    Match,
+    Output,
+    PORT_CONTROLLER,
+    SetIPDst,
+)
+from repro.errors import PolicyError
+from repro.netem import Topology
+from repro.packet import Ethernet, IPv4, UDP
+
+
+def key(dst="10.0.0.2", dport=80, src="10.0.0.1"):
+    pkt = (Ethernet(dst="00:00:00:00:00:02", src="00:00:00:00:00:01")
+           / IPv4(src=src, dst=dst)
+           / UDP(src_port=1, dst_port=dport) / b"")
+    return FlowKey.from_packet(pkt, in_port=1)
+
+
+def evaluate(policy, flow_key):
+    """First-match evaluation of a compiled policy against a key."""
+    for match, actions in compile_policy(policy):
+        if match.matches(flow_key):
+            return actions
+    return None  # fell off the rule list (should not happen)
+
+
+class TestAtoms:
+    def test_fwd(self):
+        assert compile_policy(fwd(3)) == [(Match(), [Output(3)])]
+
+    def test_drop(self):
+        assert compile_policy(drop()) == [(Match(), [])]
+
+    def test_punt(self):
+        assert compile_policy(punt()) == [
+            (Match(), [Output(PORT_CONTROLLER)])
+        ]
+
+    def test_bare_filter_drops_nonmatching(self):
+        rules = compile_policy(filter_(l4_dst=80))
+        # Pass rules degenerate to drop at top level.
+        assert evaluate(filter_(l4_dst=80), key(dport=80)) == []
+        assert evaluate(filter_(l4_dst=80), key(dport=443)) == []
+
+    def test_mod_rejects_unknown_field(self):
+        with pytest.raises(PolicyError):
+            mod(bogus=1)
+
+
+class TestSequential:
+    def test_filter_then_fwd(self):
+        policy = filter_(l4_dst=80) >> fwd(2)
+        assert evaluate(policy, key(dport=80)) == [Output(2)]
+        assert evaluate(policy, key(dport=443)) == []
+
+    def test_mod_then_fwd(self):
+        policy = mod(ip_dst="9.9.9.9") >> fwd(2)
+        actions = evaluate(policy, key())
+        assert actions == [SetIPDst("9.9.9.9"), Output(2)]
+
+    def test_filter_mod_fwd_chain(self):
+        policy = (filter_(ip_dst="10.0.0.0/24")
+                  >> mod(ip_dst="9.9.9.9")
+                  >> fwd(7))
+        assert evaluate(policy, key(dst="10.0.0.5")) == [
+            SetIPDst("9.9.9.9"), Output(7)
+        ]
+        assert evaluate(policy, key(dst="10.1.0.5")) == []
+
+    def test_write_satisfies_later_filter(self):
+        # mod sets ip_dst, a later filter requires exactly that value:
+        # the constraint is statically satisfied and removed.
+        policy = (mod(ip_dst="9.9.9.9") >> filter_(ip_dst="9.9.9.9")
+                  >> fwd(1))
+        assert evaluate(policy, key(dst="1.2.3.4")) == [
+            SetIPDst("9.9.9.9"), Output(1)
+        ]
+
+    def test_write_contradicts_later_filter(self):
+        # mod sets ip_dst to X; a later filter demands Y: nothing passes.
+        policy = (mod(ip_dst="9.9.9.9") >> filter_(ip_dst="8.8.8.8")
+                  >> fwd(1))
+        assert evaluate(policy, key()) == []
+
+    def test_terminal_on_left_rejected(self):
+        with pytest.raises(PolicyError):
+            fwd(1) >> fwd(2)
+
+    def test_conflicting_filters_compile_to_drop(self):
+        policy = filter_(l4_dst=80) >> filter_(l4_dst=443) >> fwd(1)
+        assert evaluate(policy, key(dport=80)) == []
+        assert evaluate(policy, key(dport=443)) == []
+
+
+class TestParallel:
+    def test_disjoint_union(self):
+        policy = ((filter_(l4_dst=80) >> fwd(1))
+                  | (filter_(l4_dst=443) >> fwd(2)))
+        assert evaluate(policy, key(dport=80)) == [Output(1)]
+        assert evaluate(policy, key(dport=443)) == [Output(2)]
+        assert evaluate(policy, key(dport=22)) == []
+
+    def test_overlap_applies_both(self):
+        policy = ((filter_(ip_dst="10.0.0.2") >> fwd(1))
+                  | (filter_(l4_dst=80) >> fwd(2)))
+        # A packet matching both predicates goes both ways (multicast).
+        actions = evaluate(policy, key(dst="10.0.0.2", dport=80))
+        assert actions == [Output(1), Output(2)]
+        assert evaluate(policy, key(dst="10.0.0.2", dport=443)) == [
+            Output(1)
+        ]
+
+    def test_conflicting_writes_rejected(self):
+        policy = ((mod(ip_dst="1.1.1.1") >> fwd(1))
+                  | (mod(ip_dst="2.2.2.2") >> fwd(2)))
+        with pytest.raises(PolicyError):
+            compile_policy(policy)
+
+
+class TestIfThenElse:
+    def test_branching(self):
+        policy = ifte({"ip_dst": "10.0.0.0/24"}, fwd(1), fwd(2))
+        assert evaluate(policy, key(dst="10.0.0.9")) == [Output(1)]
+        assert evaluate(policy, key(dst="10.1.0.9")) == [Output(2)]
+
+    def test_nested(self):
+        policy = ifte(
+            {"ip_dst": "10.0.0.0/24"},
+            ifte({"l4_dst": 80}, fwd(1), drop()),
+            flood(),
+        )
+        assert evaluate(policy, key(dst="10.0.0.9", dport=80)) == [
+            Output(1)
+        ]
+        assert evaluate(policy, key(dst="10.0.0.9", dport=443)) == []
+        out = evaluate(policy, key(dst="10.9.0.9"))
+        assert len(out) == 1  # the flood action
+
+    def test_with_match_object(self):
+        policy = ifte(Match(l4_dst=80), fwd(1), fwd(2))
+        assert evaluate(policy, key(dport=80)) == [Output(1)]
+
+
+class TestCompilation:
+    def test_shadowed_rules_pruned(self):
+        # else-branch wildcard shadows anything after it.
+        policy = ifte({"l4_dst": 80}, fwd(1), fwd(2)) | fwd(3)
+        compiled = compile_policy(policy)
+        # No rule may be a strict duplicate of an earlier match.
+        seen = []
+        for match, _ in compiled:
+            assert not any(match == s for s in seen)
+            seen.append(match)
+
+    def test_first_match_semantics_preserved(self):
+        policy = ifte({"ip_dst": "10.0.0.0/8"},
+                      ifte({"ip_dst": "10.0.0.2"}, fwd(1), fwd(2)),
+                      drop())
+        assert evaluate(policy, key(dst="10.0.0.2")) == [Output(1)]
+        assert evaluate(policy, key(dst="10.0.0.3")) == [Output(2)]
+        assert evaluate(policy, key(dst="11.0.0.1")) == []
+
+
+class TestInstallEndToEnd:
+    def test_policy_drives_real_network(self):
+        platform = ZenPlatform(
+            Topology.single(3, bandwidth_bps=1e9), profile="bare",
+        ).start()
+        net = platform.net
+        h1, h2, h3 = (net.host(n) for n in ("h1", "h2", "h3"))
+        for a in (h1, h2, h3):
+            for b in (h1, h2, h3):
+                if a is not b:
+                    a.add_static_arp(b.ip, b.mac)
+        s1 = platform.controller.switch(net.switch("s1").dpid)
+        p1, p2, p3 = (net.port_of("s1", h) for h in ("h1", "h2", "h3"))
+        policy = (
+            (filter_(eth_dst=str(h1.mac)) >> fwd(p1))
+            | (filter_(eth_dst=str(h2.mac)) >> fwd(p2))
+            | (filter_(eth_dst=str(h3.mac)) >> fwd(p3))
+        )
+        count = install_policy(s1, policy, base_priority=1000)
+        assert count >= 3
+        platform.run(0.5)
+        session = h1.ping(h2.ip, count=2, interval=0.1)
+        platform.run(3.0)
+        assert session.received == 2
+
+    def test_rule_budget_checked(self):
+        platform = ZenPlatform(Topology.single(1), profile="bare").start()
+        s1 = platform.controller.switch(1)
+        with pytest.raises(PolicyError):
+            install_policy(s1, fwd(1), base_priority=0)

@@ -1,0 +1,250 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, order.append, "late")
+        sim.schedule(1.0, order.append, "early")
+        sim.schedule(3.0, order.append, "latest")
+        sim.run_until_idle()
+        assert order == ["early", "late", "latest"]
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for i in range(10):
+            sim.schedule(1.0, order.append, i)
+        sim.run_until_idle()
+        assert order == list(range(10))
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run_until_idle()
+        assert seen == [1.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run_until_idle()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.run_until_idle() == 0
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1.0, order.append, "second")
+
+        sim.schedule(1.0, first)
+        sim.run_until_idle()
+        assert order == ["first", "second"]
+        assert sim.now == 2.0
+
+
+class TestRunBounds:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        assert fired == ["a"]
+        assert sim.now == 2.0  # clock advanced to the bound
+
+    def test_run_until_resumes_cleanly(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        sim.run(until=10.0)
+        assert fired == ["b"]
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        for i in range(100):
+            sim.schedule(float(i), lambda: None)
+        executed = sim.run(max_events=10)
+        assert executed == 10
+        assert sim.pending_events == 90
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run_until_idle()
+        assert sim.events_processed == 5
+
+
+class TestPeriodic:
+    def test_call_every_repeats_until_stopped(self):
+        sim = Simulator()
+        ticks = []
+        stop = sim.call_every(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=5.5)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+        stop()
+        sim.run(until=10.0)
+        assert len(ticks) == 5
+
+    def test_call_every_with_jitter_stays_deterministic(self):
+        def run(seed):
+            sim = Simulator(seed=seed)
+            ticks = []
+            sim.call_every(1.0, lambda: ticks.append(sim.now), jitter=0.1)
+            sim.run(until=10.0)
+            return ticks
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+    def test_call_every_rejects_nonpositive_interval(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.call_every(0.0, lambda: None)
+
+
+class TestProcesses:
+    def test_process_sleeps(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            trace.append(("start", sim.now))
+            yield sim.sleep(2.5)
+            trace.append(("end", sim.now))
+
+        sim.spawn(proc())
+        sim.run_until_idle()
+        assert trace == [("start", 0.0), ("end", 2.5)]
+
+    def test_process_return_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.sleep(1.0)
+            return 42
+
+        p = sim.spawn(proc())
+        sim.run_until_idle()
+        assert p.result == 42
+        assert not p.alive
+
+    def test_process_waits_on_signal(self):
+        sim = Simulator()
+        signal = sim.signal()
+        got = []
+
+        def waiter():
+            value = yield signal.wait()
+            got.append((value, sim.now))
+
+        sim.spawn(waiter())
+        sim.schedule(3.0, signal.fire, "hello")
+        sim.run_until_idle()
+        assert got == [("hello", 3.0)]
+
+    def test_signal_wakes_all_waiters(self):
+        sim = Simulator()
+        signal = sim.signal()
+        woken = []
+
+        def waiter(i):
+            yield signal.wait()
+            woken.append(i)
+
+        for i in range(3):
+            sim.spawn(waiter(i))
+        sim.schedule(1.0, signal.fire)
+        sim.run_until_idle()
+        assert sorted(woken) == [0, 1, 2]
+
+    def test_process_waits_on_process(self):
+        sim = Simulator()
+        order = []
+
+        def child():
+            yield sim.sleep(2.0)
+            order.append("child done")
+            return "result"
+
+        def parent():
+            p = sim.spawn(child())
+            yield p.wait()
+            order.append("parent done")
+
+        sim.spawn(parent())
+        sim.run_until_idle()
+        assert order == ["child done", "parent done"]
+
+    def test_killed_process_stops(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            trace.append("a")
+            yield sim.sleep(5.0)
+            trace.append("b")
+
+        p = sim.spawn(proc())
+        sim.run(until=1.0)
+        p.kill()
+        sim.run_until_idle()
+        assert trace == ["a"]
+        assert not p.alive
+
+    def test_bad_yield_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "nonsense"
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run_until_idle()
+
+
+class TestRandomness:
+    def test_same_seed_same_stream(self):
+        a, b = Simulator(seed=7), Simulator(seed=7)
+        assert [a.rng.random() for _ in range(5)] == [
+            b.rng.random() for _ in range(5)
+        ]
+
+    def test_forked_rngs_are_independent_and_deterministic(self):
+        a, b = Simulator(seed=7), Simulator(seed=7)
+        fa1, fa2 = a.fork_rng(), a.fork_rng()
+        fb1, _ = b.fork_rng(), b.fork_rng()
+        assert fa1.random() == fb1.random()
+        # Distinct children produce distinct streams.
+        assert fa1.random() != fa2.random()

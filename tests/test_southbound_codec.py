@@ -1,0 +1,246 @@
+"""ZOF wire-format tests: every message type roundtrips byte-exactly."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dataplane import (
+    Bucket,
+    DecTTL,
+    Group,
+    GroupType,
+    Match,
+    Meter,
+    Output,
+    PopVLAN,
+    PushVLAN,
+    SetDSCP,
+    SetEthDst,
+    SetEthSrc,
+    SetIPDst,
+    SetIPSrc,
+    SetL4Dst,
+    SetL4Src,
+    SetVLAN,
+    VLAN_ABSENT,
+)
+from repro.errors import ProtocolError
+from repro.southbound import (
+    BarrierReply,
+    BarrierRequest,
+    ControllerRole,
+    EchoReply,
+    EchoRequest,
+    Error,
+    FeaturesReply,
+    FeaturesRequest,
+    FlowMod,
+    FlowModCommand,
+    FlowRemoved,
+    FlowStatsEntry,
+    GroupMod,
+    Hello,
+    MeterMod,
+    ModCommand,
+    PacketIn,
+    PacketOut,
+    PortDesc,
+    PortStatus,
+    RoleReply,
+    RoleRequest,
+    StatsKind,
+    StatsReply,
+    StatsRequest,
+    decode_actions,
+    decode_match,
+    decode_message,
+    encode_actions,
+    encode_match,
+    encode_message,
+)
+
+ALL_ACTIONS = [
+    Output(3),
+    SetEthSrc("00:11:22:33:44:55"),
+    SetEthDst("66:77:88:99:aa:bb"),
+    SetIPSrc("10.0.0.1"),
+    SetIPDst("10.0.0.2"),
+    SetL4Src(1234),
+    SetL4Dst(80),
+    SetDSCP(46),
+    PushVLAN(100, pcp=5),
+    PopVLAN(),
+    SetVLAN(200),
+    DecTTL(),
+    Group(7),
+    Meter(9),
+]
+
+RICH_MATCH = Match(
+    in_port=4,
+    eth_src="00:11:22:33:44:55",
+    eth_dst="66:77:88:99:aa:bb",
+    eth_type=0x0800,
+    vlan_vid=42,
+    ip_src="10.0.0.0/8",
+    ip_dst="192.168.1.7",
+    ip_proto=6,
+    ip_dscp=10,
+    l4_src=1000,
+    l4_dst=2000,
+)
+
+
+def roundtrip(msg):
+    return decode_message(encode_message(msg))
+
+
+class TestMatchCodec:
+    def test_rich_match_roundtrip(self):
+        blob = encode_match(RICH_MATCH)
+        out, used = decode_match(blob)
+        assert used == len(blob)
+        assert out == RICH_MATCH
+
+    def test_wildcard_roundtrip(self):
+        out, used = decode_match(encode_match(Match()))
+        assert out == Match()
+        assert used == 2
+
+    def test_vlan_absent_roundtrip(self):
+        out, _ = decode_match(encode_match(Match(vlan_vid=VLAN_ABSENT)))
+        assert out.get("vlan_vid") == VLAN_ABSENT
+
+    def test_prefix_preserved(self):
+        out, _ = decode_match(encode_match(Match(ip_dst="10.1.0.0/16")))
+        assert str(out.get("ip_dst")) == "10.1.0.0/16"
+
+    def test_truncated_rejected(self):
+        blob = encode_match(RICH_MATCH)
+        with pytest.raises(ProtocolError):
+            decode_match(blob[:-3])
+        with pytest.raises(ProtocolError):
+            decode_match(b"\x00")
+
+    def test_unknown_field_id_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_match(b"\x00\x03\x63\x01\x00")  # field 99, len 1
+
+
+class TestActionCodec:
+    def test_every_action_roundtrips(self):
+        blob = encode_actions(ALL_ACTIONS)
+        out, used = decode_actions(blob)
+        assert used == len(blob)
+        assert out == ALL_ACTIONS
+
+    def test_empty_list(self):
+        out, used = decode_actions(encode_actions([]))
+        assert out == [] and used == 2
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_actions(b"\x00\x02\x63\x00")  # action type 99
+
+
+class TestMessageRoundtrips:
+    @pytest.mark.parametrize("msg", [
+        Hello(),
+        Error(Error.TABLE_FULL, "table 0 full"),
+        EchoRequest(b"ping"),
+        EchoReply(b"pong"),
+        FeaturesRequest(),
+        FeaturesReply(dpid=42, num_tables=4, ports=[
+            PortDesc(1, b"\x02\x00\x00\x00\x00\x01", True),
+            PortDesc(2, b"\x02\x00\x00\x00\x00\x02", False),
+        ]),
+        PacketIn(in_port=3, reason="no_match", data=b"\x00" * 20),
+        PacketOut(in_port=2, actions=[Output(1)], data=b"\xff" * 14),
+        FlowMod(command=FlowModCommand.ADD, table_id=2, match=RICH_MATCH,
+                priority=77, actions=ALL_ACTIONS, idle_timeout=2.5,
+                hard_timeout=60.0, cookie=0xDEAD, goto_table=3,
+                flags=FlowMod.SEND_FLOW_REM),
+        FlowMod(command=FlowModCommand.DELETE, match=Match()),
+        FlowRemoved(table_id=1, match=RICH_MATCH, priority=7,
+                    cookie=99, reason="hard_timeout", duration=12.5,
+                    packet_count=1000, byte_count=64000),
+        PortStatus("down", PortDesc(5, b"\x02\x00\x00\x00\x00\x05",
+                                    False)),
+        GroupMod(ModCommand.ADD, group_id=9,
+                 group_type=GroupType.FAST_FAILOVER,
+                 buckets=[
+                     Bucket([Output(1)], watch_port=1, weight=3),
+                     Bucket([Output(2)], watch_port=None, weight=1),
+                 ]),
+        MeterMod(ModCommand.MODIFY, meter_id=4, rate_bps=1e6,
+                 burst_bytes=1500),
+        StatsRequest(StatsKind.FLOW, table_id=2),
+        StatsReply(StatsKind.PORT, [{
+            "port": 1, "rx_packets": 10, "rx_bytes": 1000,
+            "tx_packets": 20, "tx_bytes": 2000, "tx_drops": 3,
+        }]),
+        StatsReply(StatsKind.TABLE, [{
+            "table_id": 0, "active": 5, "lookups": 100, "matches": 90,
+        }]),
+        StatsReply(StatsKind.AGGREGATE, [{
+            "packets": 7, "bytes": 700, "flows": 3,
+        }]),
+        BarrierRequest(),
+        BarrierReply(),
+        RoleRequest(ControllerRole.PRIMARY, generation_id=12),
+        RoleReply(ControllerRole.SECONDARY, generation_id=13),
+    ])
+    def test_roundtrip(self, msg):
+        out = roundtrip(msg)
+        assert out == msg
+
+    def test_flow_stats_reply_roundtrip(self):
+        reply = StatsReply(StatsKind.FLOW, [
+            FlowStatsEntry(0, 10, 77, 1000, 64000, 3.5, RICH_MATCH),
+            FlowStatsEntry(1, 20, 78, 1, 64, 0.5, Match()),
+        ])
+        out = roundtrip(reply)
+        assert out.entries == reply.entries
+
+    def test_xid_preserved(self):
+        msg = EchoRequest(b"x")
+        msg.xid = 1234
+        assert roundtrip(msg).xid == 1234
+
+    def test_goto_none_preserved(self):
+        fm = FlowMod(goto_table=None)
+        assert roundtrip(fm).goto_table is None
+        fm2 = FlowMod(goto_table=0)
+        assert roundtrip(fm2).goto_table == 0
+
+
+class TestFraming:
+    def test_bad_version_rejected(self):
+        raw = bytearray(encode_message(Hello()))
+        raw[0] = 99
+        with pytest.raises(ProtocolError):
+            decode_message(bytes(raw))
+
+    def test_length_mismatch_rejected(self):
+        raw = encode_message(EchoRequest(b"abc"))
+        with pytest.raises(ProtocolError):
+            decode_message(raw + b"extra")
+        with pytest.raises(ProtocolError):
+            decode_message(raw[:-1])
+
+    def test_unknown_type_rejected(self):
+        raw = bytearray(encode_message(Hello()))
+        raw[1] = 200
+        with pytest.raises(ProtocolError):
+            decode_message(bytes(raw))
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"\x01\x00")
+
+    @given(data=st.binary(max_size=200),
+           port=st.integers(min_value=0, max_value=2**32 - 1),
+           reason=st.sampled_from(["no_match", "action", "ttl_expired"]))
+    def test_packet_in_roundtrip_property(self, data, port, reason):
+        msg = PacketIn(port, reason, data)
+        out = roundtrip(msg)
+        assert (out.in_port, out.reason, out.data) == (port, reason, data)

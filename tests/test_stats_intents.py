@@ -1,0 +1,159 @@
+"""Stats poller and intent framework tests."""
+
+import pytest
+
+from repro.controller import (
+    IntentService,
+    IntentState,
+    PortStatsUpdate,
+    StatsPoller,
+)
+from repro.core import ZenPlatform
+from repro.errors import IntentError
+from repro.netem import CBRStream, FlowSink, Topology
+
+
+class TestStatsPoller:
+    def test_rates_derived_from_samples(self):
+        platform = ZenPlatform(
+            Topology.single(2, bandwidth_bps=100e6)
+        ).start()
+        poller = platform.add_app(StatsPoller(interval=0.5))
+        h1, h2 = platform.host("h1"), platform.host("h2")
+        FlowSink(h2, 9000)
+        CBRStream(h1, h2.ip, rate_bps=10e6, packet_size=1000,
+                  duration=5.0)
+        platform.run(5.0)
+        dpid = platform.switch("s1").dpid
+        rx_port = platform.net.port_of("s1", "h1")
+        rate = poller.rate(dpid, rx_port)
+        assert rate is not None
+        # CBR at 10 Mb/s (plus framing/ARP noise).
+        assert rate.rx_bps == pytest.approx(10e6, rel=0.15)
+        poller.stop()
+
+    def test_update_events_published(self):
+        platform = ZenPlatform(Topology.single(1)).start()
+        updates = []
+        platform.controller.subscribe(PortStatsUpdate, updates.append)
+        platform.add_app(StatsPoller(interval=0.5))
+        platform.run(2.0)
+        assert updates
+        assert updates[0].dpid == platform.switch("s1").dpid
+
+    def test_busiest_ports_ranking(self):
+        platform = ZenPlatform(
+            Topology.single(3, bandwidth_bps=100e6)
+        ).start()
+        poller = platform.add_app(StatsPoller(interval=0.5))
+        h1, h2 = platform.host("h1"), platform.host("h2")
+        FlowSink(h2, 9000)
+        CBRStream(h1, h2.ip, rate_bps=20e6, duration=4.0)
+        platform.run(4.0)
+        top = poller.busiest_ports(top_n=2)
+        assert len(top) == 2
+        assert top[0].tx_bps >= top[1].tx_bps
+
+
+@pytest.fixture
+def intent_platform():
+    platform = ZenPlatform(
+        Topology.ring(4, hosts_per_switch=1, bandwidth_bps=1e9),
+        profile="bare",
+        intents=True,
+    ).start()
+    # Hosts must be known before intents can compile: static ARP plus a
+    # hello packet pins each host's attachment.
+    hosts = list(platform.net.hosts.values())
+    for a in hosts:
+        for b in hosts:
+            if a is not b:
+                a.add_static_arp(b.ip, b.mac)
+    for host in hosts:
+        host.send_udp(hosts[0].ip if host is not hosts[-1] else hosts[1].ip,
+                      1, 1, b"hello")
+    platform.run(1.0)
+    return platform
+
+
+class TestIntents:
+    def test_intent_installs_connectivity(self, intent_platform):
+        platform = intent_platform
+        h1, h3 = platform.host("h1"), platform.host("h3")
+        intent = platform.intents.connect_ips(h1.ip, h3.ip)
+        platform.run(0.5)
+        assert intent.state == IntentState.INSTALLED
+        session = h1.ping(h3.ip, count=3, interval=0.1)
+        platform.run(3.0)
+        assert session.received == 3
+
+    def test_withdraw_removes_rules(self, intent_platform):
+        platform = intent_platform
+        h1, h3 = platform.host("h1"), platform.host("h3")
+        intent = platform.intents.connect_ips(h1.ip, h3.ip)
+        platform.run(0.5)
+        flows_with = sum(dp.flow_count()
+                         for dp in platform.net.switches.values())
+        platform.intents.withdraw(intent.intent_id)
+        platform.run(0.5)
+        flows_without = sum(dp.flow_count()
+                            for dp in platform.net.switches.values())
+        assert intent.state == IntentState.WITHDRAWN
+        assert flows_without < flows_with
+        with pytest.raises(IntentError):
+            platform.intents.withdraw(intent.intent_id)
+
+    def test_intent_reroutes_around_failure(self, intent_platform):
+        platform = intent_platform
+        h1, h3 = platform.host("h1"), platform.host("h3")
+        intent = platform.intents.connect_ips(h1.ip, h3.ip)
+        platform.run(0.5)
+        original_path = intent.paths[0]
+        # Cut a link on the installed path; the ring has an alternative.
+        a = platform.net.switch_name(original_path[0])
+        b = platform.net.switch_name(original_path[1])
+        platform.fail_link(a, b)
+        platform.run(1.0)
+        assert intent.state == IntentState.INSTALLED
+        assert intent.reroutes == 1
+        assert intent.paths[0] != original_path
+        session = h1.ping(h3.ip, count=3, interval=0.1)
+        platform.run(3.0)
+        assert session.received == 3
+        assert platform.intents.reroute_done_times
+
+    def test_unaffected_intents_not_touched(self, intent_platform):
+        platform = intent_platform
+        h1, h2, h3 = (platform.host(n) for n in ("h1", "h2", "h3"))
+        a_b = platform.intents.connect_ips(h1.ip, h2.ip)
+        platform.run(0.5)
+        # Fail a link not on h1-h2's path (path is s1-s2; cut s3-s4).
+        assert a_b.paths[0] in ([1, 2], [2, 1])
+        platform.fail_link("s3", "s4")
+        platform.run(1.0)
+        assert a_b.reroutes == 0
+
+    def test_failed_intent_recovers_when_topology_heals(self,
+                                                        intent_platform):
+        platform = intent_platform
+        h1, h3 = platform.host("h1"), platform.host("h3")
+        # Sever both ring paths between s1 and s3.
+        platform.fail_link("s1", "s2")
+        platform.fail_link("s1", "s4")
+        platform.run(0.5)
+        intent = platform.intents.connect_ips(h1.ip, h3.ip)
+        platform.run(0.5)
+        assert intent.state == IntentState.FAILED
+        assert platform.intents.failed_count() == 1
+        platform.recover_link("s1", "s2")
+        platform.run(3.0)  # rediscovery + recompile
+        assert intent.state == IntentState.INSTALLED
+        assert platform.intents.installed_count() == 1
+
+    def test_intent_service_requires_dependencies(self):
+        from repro.controller import Controller
+        from repro.sim import Simulator
+
+        controller = Controller(Simulator())
+        with pytest.raises(IntentError):
+            controller.add_app(IntentService())

@@ -1,0 +1,162 @@
+"""Topology description and builder tests."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.netem import Topology
+
+
+class TestConstruction:
+    def test_auto_names_and_ids(self):
+        topo = Topology()
+        s1 = topo.add_switch()
+        s2 = topo.add_switch()
+        h1 = topo.add_host()
+        assert (s1, s2, h1) == ("s1", "s2", "h1")
+        assert topo.nodes[s1].dpid == 1
+        assert topo.nodes[s2].dpid == 2
+        assert str(topo.nodes[h1].ip) == "10.0.0.1"
+
+    def test_explicit_dpid_respected_and_deduplicated(self):
+        topo = Topology()
+        topo.add_switch("core", dpid=100)
+        with pytest.raises(TopologyError):
+            topo.add_switch("other", dpid=100)
+        nxt = topo.add_switch()
+        assert topo.nodes[nxt].dpid == 101
+
+    def test_duplicate_names_rejected(self):
+        topo = Topology()
+        topo.add_switch("x")
+        with pytest.raises(TopologyError):
+            topo.add_host("x")
+
+    def test_duplicate_host_ip_rejected(self):
+        topo = Topology()
+        topo.add_host(ip="10.0.0.5")
+        with pytest.raises(TopologyError):
+            topo.add_host(ip="10.0.0.5")
+
+    def test_link_validation(self):
+        topo = Topology()
+        s = topo.add_switch()
+        h1, h2 = topo.add_host(), topo.add_host()
+        topo.add_link(h1, s)
+        with pytest.raises(TopologyError):
+            topo.add_link(h1, s)  # duplicate
+        with pytest.raises(TopologyError):
+            topo.add_link(s, s)  # self-link
+        with pytest.raises(TopologyError):
+            topo.add_link(h1, h2)  # host-host
+        with pytest.raises(TopologyError):
+            topo.add_link("nope", s)  # unknown node
+
+    def test_link_params_stored(self):
+        topo = Topology()
+        s1, s2 = topo.add_switch(), topo.add_switch()
+        spec = topo.add_link(s1, s2, bandwidth_bps=1e9, delay=0.01,
+                             loss_rate=0.1, queue_capacity=50)
+        assert spec.bandwidth_bps == 1e9
+        assert spec.delay == 0.01
+        assert topo.find_link(s2, s1) is spec  # order-insensitive
+
+    def test_neighbours(self):
+        topo = Topology.linear(3)
+        assert set(topo.neighbours("s2")) >= {"s1", "s3"}
+
+
+class TestValidation:
+    def test_disconnected_rejected(self):
+        topo = Topology()
+        topo.add_switch()
+        topo.add_switch()
+        with pytest.raises(TopologyError):
+            topo.validate()
+
+    def test_multihomed_host_rejected(self):
+        topo = Topology()
+        s1, s2 = topo.add_switch(), topo.add_switch()
+        h = topo.add_host()
+        topo.add_link(s1, s2)
+        topo.add_link(h, s1)
+        topo.add_link(h, s2)
+        with pytest.raises(TopologyError):
+            topo.validate()
+
+    def test_isolated_host_rejected(self):
+        topo = Topology()
+        topo.add_switch()
+        topo.add_host()
+        with pytest.raises(TopologyError):
+            topo.validate()
+
+
+class TestBuilders:
+    def test_single(self):
+        topo = Topology.single(4)
+        topo.validate()
+        assert len(topo.switches) == 1
+        assert len(topo.hosts) == 4
+        assert len(topo.links) == 4
+
+    def test_linear(self):
+        topo = Topology.linear(5, hosts_per_switch=2)
+        topo.validate()
+        assert len(topo.switches) == 5
+        assert len(topo.hosts) == 10
+        assert len(topo.links) == 4 + 10
+
+    def test_ring(self):
+        topo = Topology.ring(4)
+        topo.validate()
+        switch_links = [l for l in topo.links
+                        if topo.nodes[l.a].is_switch
+                        and topo.nodes[l.b].is_switch]
+        assert len(switch_links) == 4  # the cycle
+        with pytest.raises(TopologyError):
+            Topology.ring(2)
+
+    def test_star(self):
+        topo = Topology.star(3, hosts_per_leaf=2)
+        topo.validate()
+        assert len(topo.switches) == 4
+        assert len(topo.hosts) == 6
+        assert len(topo.neighbours("hub")) == 3
+
+    def test_tree(self):
+        topo = Topology.tree(depth=2, fanout=2)
+        topo.validate()
+        assert len(topo.switches) == 3   # root + 2 children
+        assert len(topo.hosts) == 4      # leaves
+
+    def test_fat_tree_k4(self):
+        topo = Topology.fat_tree(4)
+        topo.validate()
+        assert len(topo.switches) == 20  # 4 core + 8 agg + 8 edge
+        assert len(topo.hosts) == 16     # k^3/4
+        assert len(topo.links) == 48     # 16+16 fabric + 16 host
+
+    def test_fat_tree_k_must_be_even(self):
+        with pytest.raises(TopologyError):
+            Topology.fat_tree(3)
+
+    def test_mesh(self):
+        topo = Topology.mesh(4)
+        topo.validate()
+        switch_links = [l for l in topo.links
+                        if topo.nodes[l.a].is_switch
+                        and topo.nodes[l.b].is_switch]
+        assert len(switch_links) == 6  # C(4,2)
+
+    def test_waxman_connected_and_deterministic(self):
+        a = Topology.waxman(10, seed=5)
+        b = Topology.waxman(10, seed=5)
+        a.validate()
+        assert len(a.links) == len(b.links)
+        assert [(l.a, l.b) for l in a.links] == [
+            (l.a, l.b) for l in b.links
+        ]
+
+    def test_builders_pass_link_options(self):
+        topo = Topology.linear(2, bandwidth_bps=42.0)
+        assert all(l.bandwidth_bps == 42.0 for l in topo.links)

@@ -1,0 +1,163 @@
+"""Workload generator and sink tests."""
+
+import pytest
+
+from repro.dataplane import FlowEntry, Match, Output, PORT_FLOOD
+from repro.netem import (
+    CBRStream,
+    FlowGenerator,
+    FlowSink,
+    Network,
+    RequestLoad,
+    Topology,
+    pareto_sizes,
+)
+from repro.errors import TopologyError
+from repro.packet import UDP
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def net():
+    network = Network(Topology.single(3, bandwidth_bps=100e6),
+                      miss_behaviour="drop")
+    for name in network.switches:
+        network.switch(name).install_flow(
+            FlowEntry(Match(), [Output(PORT_FLOOD)], priority=0)
+        )
+    # Pre-seed ARP so generators measure dataplane behaviour only.
+    hosts = list(network.hosts.values())
+    for a in hosts:
+        for b in hosts:
+            if a is not b:
+                a.add_static_arp(b.ip, b.mac)
+    return network
+
+
+class TestCBRStream:
+    def test_rate_is_respected(self, net):
+        h1, h2 = net.host("h1"), net.host("h2")
+        sink = FlowSink(h2, 9000)
+        CBRStream(h1, h2.ip, rate_bps=1e6, packet_size=1000,
+                  duration=2.0)
+        net.run(2.5)
+        # 1 Mb/s for 2 s = 250 packets of 1000 B.
+        assert sink.total_bytes == pytest.approx(250_000, rel=0.02)
+
+    def test_stop_halts_stream(self, net):
+        h1, h2 = net.host("h1"), net.host("h2")
+        sink = FlowSink(h2, 9000)
+        stream = CBRStream(h1, h2.ip, rate_bps=1e6, duration=10.0)
+        net.run(1.0)
+        stream.stop()
+        bytes_at_stop = sink.total_bytes
+        net.run(2.0)
+        assert sink.total_bytes == bytes_at_stop
+
+    def test_validation(self, net):
+        h1, h2 = net.host("h1"), net.host("h2")
+        with pytest.raises(TopologyError):
+            CBRStream(h1, h2.ip, rate_bps=0)
+        with pytest.raises(TopologyError):
+            CBRStream(h1, h2.ip, rate_bps=1e6, packet_size=4)
+
+
+class TestFlowSink:
+    def test_flow_completion_recorded(self, net):
+        h1, h2 = net.host("h1"), net.host("h2")
+        sink = FlowSink(h2, 9000)
+        done = []
+        sink.on_flow_complete = done.append
+        gen = FlowGenerator(
+            net.sim, [h1, h2], arrival_rate=50.0,
+            size_source=iter(lambda: 5000, None),
+            flow_rate_bps=10e6, duration=1.0,
+            pair_picker=lambda: (h1, h2),
+        )
+        net.run(3.0)
+        assert gen.flows_started
+        assert done
+        record = done[0]
+        assert record.completed
+        assert record.bytes_received >= record.size
+        assert record.fct > 0
+
+    def test_short_payload_ignored(self, net):
+        h1, h2 = net.host("h1"), net.host("h2")
+        sink = FlowSink(h2, 9000)
+        h1.send_udp(h2.ip, 1, 9000, b"tiny")
+        net.run(1.0)
+        assert sink.flows == {}
+
+
+class TestFlowGenerator:
+    def test_poisson_arrivals_scale_with_rate(self):
+        def count_flows(rate):
+            network = Network(Topology.single(4, bandwidth_bps=1e9),
+                              miss_behaviour="drop", seed=5)
+            for name in network.switches:
+                network.switch(name).install_flow(
+                    FlowEntry(Match(), [Output(PORT_FLOOD)], priority=0)
+                )
+            hosts = list(network.hosts.values())
+            for a in hosts:
+                for b in hosts:
+                    if a is not b:
+                        a.add_static_arp(b.ip, b.mac)
+            gen = FlowGenerator(
+                network.sim, hosts, arrival_rate=rate,
+                size_source=pareto_sizes(network.sim.fork_rng(), 2000),
+                duration=5.0,
+            )
+            network.run(6.0)
+            return len(gen.flows_started)
+
+        low, high = count_flows(10.0), count_flows(40.0)
+        assert high > 2 * low
+
+    def test_pareto_sizes_heavy_tailed(self):
+        sim = Simulator(seed=9)
+        gen = pareto_sizes(sim.fork_rng(), mean=10_000, shape=1.2)
+        samples = [next(gen) for _ in range(3000)]
+        assert min(samples) >= 64
+        avg = sum(samples) / len(samples)
+        assert 3_000 < avg < 60_000  # heavy tail: wide tolerance
+        assert max(samples) > 10 * avg  # elephants exist
+
+    def test_pareto_shape_validated(self):
+        sim = Simulator()
+        with pytest.raises(TopologyError):
+            next(pareto_sizes(sim.fork_rng(), 100, shape=1.0))
+
+    def test_generator_needs_two_hosts(self):
+        sim = Simulator()
+        with pytest.raises(TopologyError):
+            FlowGenerator(sim, [], arrival_rate=1.0, size_source=iter([]))
+
+
+class TestRequestLoad:
+    def test_requests_answered_by_simple_responder(self, net):
+        h1, h2, h3 = (net.host(n) for n in ("h1", "h2", "h3"))
+
+        def responder(pkt, host):
+            udp = pkt[UDP]
+            from repro.packet import IPv4
+            host.send_udp(pkt[IPv4].src, udp.dst_port, udp.src_port,
+                          b"response")
+
+        h3.bind_udp(RequestLoad.REQUEST_PORT, responder)
+        load = RequestLoad(net.sim, [h1, h2], h3.ip,
+                           request_rate=100.0, duration=1.0)
+        net.run(3.0)
+        assert load.sent > 20
+        assert load.completed == load.sent
+        assert load.timeouts == 0
+        assert all(rt > 0 for rt in load.response_times)
+
+    def test_unanswered_requests_time_out(self, net):
+        h1, h2 = net.host("h1"), net.host("h2")
+        load = RequestLoad(net.sim, [h1], h2.ip, request_rate=50.0,
+                           duration=0.5, timeout=1.0)
+        net.run(3.0)
+        assert load.completed == 0
+        assert load.timeouts == load.sent > 0
