@@ -72,7 +72,7 @@ def test_a3_loss_recovery(results, benchmark):
     publish("a3_loss_recovery", series)
     benchmark.pedantic(lambda: run_loss(0.05), rounds=1, iterations=1)
     # Goodput decays monotonically with loss...
-    goodputs = [data[l]["goodput_mbps"] for l in LOSSES]
+    goodputs = [data[loss]["goodput_mbps"] for loss in LOSSES]
     assert goodputs == sorted(goodputs, reverse=True)
     # ...and far faster than the raw delivery ratio would suggest:
     # at 30% loss, goodput is under half of (1 - 0.3) x lossless.

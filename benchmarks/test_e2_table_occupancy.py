@@ -43,7 +43,6 @@ def peak_occupancy(profile, exact_match, flows):
     platform.run(1.0)
     # N concurrent "flows": one packet each, distinct source ports, then
     # a couple of refreshes so reactive rules actually install and stay.
-    rng = platform.sim.rng
     pairs = []
     for n in range(flows):
         src = hosts[n % HOSTS]

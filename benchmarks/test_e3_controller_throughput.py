@@ -48,7 +48,6 @@ def drive(num_switches, offered_rate):
     controller.subscribe(PacketInEvent, lambda ev: handled.append(1))
     sim.run_until_idle()
 
-    interval = num_switches / offered_rate
     rng = sim.fork_rng()
 
     def feed(index):

@@ -136,7 +136,7 @@ def distributed(kind, carrier_detect=False):
     proto.converge(5.0)
     seed_arp(net)
     h1, h2 = net.host("h1"), net.host("h2")
-    warm = h1.ping(h2.ip, count=1)
+    h1.ping(h2.ip, count=1)
     net.run(2.0)
     gap = measure_gap(net, h1, h2,
                       lambda: net.fail_link("s1", "s2"),

@@ -171,7 +171,7 @@ def test_e7_priority_position_ablation(benchmark):
     def hit():
         return table.lookup(hit_key)
 
-    result = benchmark(hit)
+    benchmark(hit)
     start = time.perf_counter()
     for _ in range(200):
         table.lookup(hit_key)

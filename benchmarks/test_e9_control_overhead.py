@@ -18,7 +18,7 @@ import pytest
 
 from repro.analysis import Table
 from repro.apps import HubApp
-from repro.controller import Controller, HostTracker, TopologyDiscovery
+from repro.controller import Controller
 from repro.core import ZenPlatform
 from repro.netem import Network, Topology
 

@@ -130,7 +130,7 @@ def main() -> None:
     # Protect the server's port 2222 behind the knocker.
     firewall.deny(priority=1000, eth_type=0x0800,
                   ip_dst=str(server.ip), l4_dst=2222)
-    knocker = platform.add_app(PortKnocker(firewall, server.ip, 2222))
+    platform.add_app(PortKnocker(firewall, server.ip, 2222))
     served = []
     server.bind_udp(2222, lambda pkt, host: served.append(pkt))
     platform.run(0.5)

@@ -18,14 +18,16 @@ Layer map (each package depends only on the ones above it):
 - :mod:`repro.baselines` — distributed STP and link-state competitors
 - :mod:`repro.core` — the assembled platform and policy algebra
 - :mod:`repro.analysis` — statistics and artifact rendering
+- :mod:`repro.telemetry` — metrics, packet traces, flow records
 """
 
 from repro.core.platform import ZenPlatform
 from repro.errors import ZenError
 from repro.netem.topology import Topology
 from repro.sim.kernel import Simulator
+from repro.telemetry import Telemetry
 
 __version__ = "1.0.0"
 
-__all__ = ["Simulator", "Topology", "ZenError", "ZenPlatform",
+__all__ = ["Simulator", "Telemetry", "Topology", "ZenError", "ZenPlatform",
            "__version__"]

@@ -8,7 +8,7 @@ means EXPERIMENTS.md and the benchmark output always agree on format.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Sequence, Union
 
 __all__ = ["Table", "Series"]
 
@@ -63,6 +63,14 @@ class Table:
 
     def as_dicts(self) -> List[Dict[str, str]]:
         return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def to_dict(self) -> dict:
+        """JSON-ready form: title, columns, and formatted rows."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+        }
 
     def __str__(self) -> str:
         return self.render()

@@ -8,7 +8,7 @@ percentiles, Jain's fairness index, and a compact distribution summary.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 __all__ = [
     "mean",

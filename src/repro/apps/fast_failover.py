@@ -88,7 +88,8 @@ class ProtectedPairs(App):
                 "ProtectedPairs needs TopologyDiscovery and HostTracker"
             )
         self._paths = PathService(self._discovery)
-        controller.subscribe(LinkVanished, self._on_link_vanished)
+        controller.subscribe(LinkVanished, self._on_link_vanished,
+                             owner=self.name)
 
     # ------------------------------------------------------------------
     # Public API

@@ -10,7 +10,7 @@ line rate in the dataplane, not in the controller.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.controller.core import App, SwitchHandle
 from repro.controller.discovery import LLDP_RULE_PRIORITY

@@ -14,7 +14,7 @@ behaviour differs by orders of magnitude (benchmark E2):
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.controller.core import App, SwitchHandle
 from repro.controller.events import PacketInEvent, PortStatusEvent

@@ -14,7 +14,7 @@ O(distinct port sets), not O(hosts).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, Tuple
 
 import networkx as nx
 

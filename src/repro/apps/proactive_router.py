@@ -18,7 +18,7 @@ from typing import Dict, Optional, Set, Tuple
 
 import networkx as nx
 
-from repro.controller.core import App, SwitchHandle
+from repro.controller.core import App
 from repro.controller.discovery import TopologyDiscovery
 from repro.controller.events import (
     HostDiscovered,
@@ -75,7 +75,8 @@ class ProactiveRouter(App):
         for event_type in (HostDiscovered, HostMoved, LinkDiscovered,
                            LinkVanished):
             controller.subscribe(event_type,
-                                 lambda _ev: self.schedule_rebuild())
+                                 lambda _ev: self.schedule_rebuild(),
+                                 owner=self.name)
 
     # ------------------------------------------------------------------
     # Rule management

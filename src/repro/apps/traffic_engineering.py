@@ -235,7 +235,8 @@ class TrafficEngineering(App):
                 "TrafficEngineering needs TopologyDiscovery and HostTracker"
             )
         self._paths = PathService(self._discovery)
-        controller.subscribe(LinkVanished, lambda _ev: self.replace())
+        controller.subscribe(LinkVanished, lambda _ev: self.replace(),
+                             owner=self.name)
 
     # ------------------------------------------------------------------
     # Placement

@@ -16,7 +16,7 @@ much of OSPF's lag is detection rather than flooding.
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 import networkx as nx
 

@@ -1,12 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands, aimed at kicking the tyres without writing code:
+Four commands, aimed at kicking the tyres without writing code:
 
-* ``demo``     — build a topology, run a platform profile, verify
+* ``demo``      — build a topology, run a platform profile, verify
   all-pairs connectivity, print what the controller learned and what
   the control channel cost.
-* ``topology`` — describe a builder's output (nodes, links, degrees).
-* ``bench``    — list the experiment suite and how to regenerate it.
+* ``topology``  — describe a builder's output (nodes, links, degrees).
+* ``bench``     — list the experiment suite and how to regenerate it.
+* ``telemetry`` — run a traffic demo with the observability plane on
+  and dump metrics, a packet trace, and flow records.
 """
 
 from __future__ import annotations
@@ -18,6 +20,8 @@ from typing import List, Optional
 from repro.analysis import Table
 from repro.core import ZenPlatform
 from repro.netem import Topology
+from repro.telemetry import Telemetry
+from repro.telemetry.export import render_report, to_json
 
 __all__ = ["main", "build_topology"]
 
@@ -104,11 +108,37 @@ def _cmd_topology(args) -> int:
                       len(topo.neighbours(node.name)))
     print(table.render())
     switch_links = sum(
-        1 for l in topo.links
-        if topo.nodes[l.a].is_switch and topo.nodes[l.b].is_switch
+        1 for link in topo.links
+        if topo.nodes[link.a].is_switch and topo.nodes[link.b].is_switch
     )
     print(f"\n{len(topo.links)} links total "
           f"({switch_links} switch-to-switch)")
+    return 0
+
+
+def _cmd_telemetry(args) -> int:
+    if args.sample_every < 1:
+        raise SystemExit("--sample-every must be >= 1")
+    topo = build_topology(args.topology, args.size, args.bandwidth)
+    telemetry = Telemetry(
+        trace_sample_every=args.sample_every,
+        max_traces=args.max_traces,
+    )
+    platform = ZenPlatform(
+        topo, profile=args.profile, seed=args.seed,
+        control_latency=args.control_latency, telemetry=telemetry,
+    )
+    platform.start()
+    platform.ping_all(count=args.pings, settle=8.0)
+    # Flush flows still resident so short runs export a full picture.
+    for dp in platform.net.switches.values():
+        telemetry.flows.flush_datapath(dp)
+    if args.format == "json":
+        print(to_json(telemetry,
+                      include_wall_profile=args.profile_report))
+    else:
+        print(render_report(telemetry,
+                            include_wall_profile=args.profile_report))
     return 0
 
 
@@ -152,6 +182,28 @@ def _parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench", help="list the experiment suite")
     bench.set_defaults(fn=_cmd_bench)
+
+    tel = sub.add_parser(
+        "telemetry",
+        help="run a demo with the observability plane on and dump it",
+    )
+    tel.add_argument("--topology", default="linear", choices=_BUILDERS)
+    tel.add_argument("--size", type=int, default=3)
+    tel.add_argument("--profile", default="reactive",
+                     choices=("reactive", "proactive"))
+    tel.add_argument("--seed", type=int, default=0)
+    tel.add_argument("--pings", type=int, default=1)
+    tel.add_argument("--bandwidth", type=float, default=1e9)
+    tel.add_argument("--control-latency", type=float, default=0.001)
+    tel.add_argument("--format", default="report",
+                     choices=("report", "json"))
+    tel.add_argument("--sample-every", type=int, default=1,
+                     help="trace every Nth packet (1 = all)")
+    tel.add_argument("--max-traces", type=int, default=256)
+    tel.add_argument("--profile-report", action="store_true",
+                     help="include the wall-clock app profile "
+                          "(non-deterministic across runs)")
+    tel.set_defaults(fn=_cmd_telemetry)
     return parser
 
 

@@ -52,4 +52,5 @@ __all__ = [
     "SwitchEnter",
     "SwitchHandle",
     "SwitchLeave",
+    "TopologyDiscovery",
 ]

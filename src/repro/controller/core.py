@@ -14,7 +14,8 @@ apps.  The core's jobs are:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Type
+import time
+from typing import Callable, Dict, List, Optional, Tuple, Type
 
 from repro.controller.events import (
     ErrorEvent,
@@ -51,10 +52,10 @@ from repro.southbound.messages import (
     PacketOut,
     PortDesc,
     PortStatus,
-    StatsKind,
     StatsReply,
     StatsRequest,
 )
+from repro.telemetry import ensure
 
 __all__ = ["Controller", "SwitchHandle", "App"]
 
@@ -96,6 +97,12 @@ class SwitchHandle:
     ) -> None:
         """Install one flow entry (ZOF FlowMod ADD)."""
         flags = FlowMod.SEND_FLOW_REM if notify_removed else 0
+        ctx = self.controller._trace_ctx
+        if ctx is not None:
+            self.controller.telemetry.tracer.record(
+                ctx, "flow.install", "controller",
+                dpid=self.dpid, table=table_id, priority=priority,
+            )
         self.send(FlowMod(
             command=FlowModCommand.ADD,
             table_id=table_id,
@@ -129,7 +136,16 @@ class SwitchHandle:
 
     def packet_out(self, packet: Packet, actions: List[Action],
                    in_port: int = 0) -> None:
-        self.send(PacketOut(in_port, actions, packet.encode()))
+        data = packet.encode()
+        ctx = self.controller._trace_ctx
+        if ctx is None:
+            ctx = packet.trace_id
+        if ctx is not None:
+            tracer = self.controller.telemetry.tracer
+            tracer.record(ctx, "packet.out", "controller", dpid=self.dpid)
+            # Stash so the switch agent re-adopts after deserialisation.
+            tracer.stash(("packet_out", self.dpid, data), ctx)
+        self.send(PacketOut(in_port, actions, data))
 
     def barrier(self, callback: Optional[Callable[[], None]] = None) -> None:
         """Request a barrier; ``callback`` fires when the reply lands."""
@@ -182,13 +198,18 @@ class App:
     def start(self, controller: "Controller") -> None:
         self.controller = controller
         controller.subscribe(SwitchEnter,
-                             lambda ev: self.on_switch_enter(ev.switch))
+                             lambda ev: self.on_switch_enter(ev.switch),
+                             owner=self.name)
         controller.subscribe(SwitchLeave,
-                             lambda ev: self.on_switch_leave(ev.dpid))
-        controller.subscribe(PacketInEvent, self.on_packet_in)
-        controller.subscribe(FlowRemovedEvent, self.on_flow_removed)
-        controller.subscribe(PortStatusEvent, self.on_port_status)
-        controller.subscribe(ErrorEvent, self.on_error)
+                             lambda ev: self.on_switch_leave(ev.dpid),
+                             owner=self.name)
+        controller.subscribe(PacketInEvent, self.on_packet_in,
+                             owner=self.name)
+        controller.subscribe(FlowRemovedEvent, self.on_flow_removed,
+                             owner=self.name)
+        controller.subscribe(PortStatusEvent, self.on_port_status,
+                             owner=self.name)
+        controller.subscribe(ErrorEvent, self.on_error, owner=self.name)
 
     # -- overridable hooks ---------------------------------------------
     def on_switch_enter(self, switch: SwitchHandle) -> None:
@@ -233,13 +254,14 @@ class Controller:
     """
 
     def __init__(self, sim: Simulator, name: str = "controller",
-                 packet_in_service_time: float = 0.0) -> None:
+                 packet_in_service_time: float = 0.0,
+                 telemetry=None) -> None:
         self.sim = sim
         self.name = name
         self.packet_in_service_time = packet_in_service_time
         self.switches: Dict[int, SwitchHandle] = {}
         self.apps: List[App] = []
-        self._subscribers: Dict[Type[Event], List[Callable]] = {}
+        self._subscribers: Dict[Type[Event], List[Tuple[Callable, str]]] = {}
         self._endpoint_switch: Dict[ChannelEndpoint, SwitchHandle] = {}
         #: When the controller CPU frees up (single-server queue model).
         self._cpu_free_at = 0.0
@@ -247,18 +269,57 @@ class Controller:
         self.packet_ins_handled = 0
         self.packet_in_delays: List[float] = []
         self.events_published = 0
+        # Default to the kernel's plane so Controller(sim) just works.
+        tel = ensure(telemetry if telemetry is not None
+                     else getattr(sim, "telemetry", None))
+        self.telemetry = tel
+        #: Trace id of the packet-in currently being dispatched, so app
+        #: spans and resulting flow-mods/packet-outs join its trace.
+        self._trace_ctx: Optional[int] = None
+        self._profile = tel.profiler.enabled
+        if tel.enabled:
+            self._m_packet_ins = tel.metrics.counter(
+                "controller_packet_ins_total",
+                "Packet-in messages dispatched to apps",
+            )
+            self._m_pi_delay = tel.metrics.histogram(
+                "controller_packet_in_delay_seconds",
+                "Queueing delay between packet-in arrival and dispatch",
+            )
+        else:
+            self._m_packet_ins = self._m_pi_delay = None
 
     # ------------------------------------------------------------------
     # Event bus
     # ------------------------------------------------------------------
     def subscribe(self, event_type: Type[Event],
-                  handler: Callable[[Event], None]) -> None:
-        self._subscribers.setdefault(event_type, []).append(handler)
+                  handler: Callable[[Event], None],
+                  owner: str = "-") -> None:
+        """Register ``handler``; ``owner`` names the app for telemetry."""
+        self._subscribers.setdefault(event_type, []).append((handler, owner))
 
     def publish(self, event: Event) -> None:
         self.events_published += 1
-        for handler in self._subscribers.get(type(event), []):
+        handlers = self._subscribers.get(type(event), ())
+        if not self._profile and self._trace_ctx is None:
+            for handler, _owner in handlers:
+                handler(event)
+            return
+        event_name = type(event).__name__
+        tracer = self.telemetry.tracer
+        profiler = self.telemetry.profiler
+        for handler, owner in handlers:
+            sim_t0 = self.sim.now
+            wall_t0 = time.perf_counter() if self._profile else 0.0
             handler(event)
+            if self._profile:
+                profiler.record(owner, event_name,
+                                time.perf_counter() - wall_t0)
+            if self._trace_ctx is not None:
+                # No wall time in attrs: trace output must stay
+                # deterministic across identical-seed runs.
+                tracer.record(self._trace_ctx, f"app.{owner}", "app",
+                              start=sim_t0, app=owner, event=event_name)
 
     # ------------------------------------------------------------------
     # App lifecycle
@@ -344,22 +405,47 @@ class Controller:
     def _enqueue_packet_in(self, handle: SwitchHandle,
                            msg: PacketIn) -> None:
         arrival = self.sim.now
+        trace_id = None
+        if self.telemetry.tracing:
+            trace_id, sent_at = self.telemetry.tracer.adopt(
+                ("packet_in", msg.in_port, msg.data)
+            )
+            if trace_id is not None:
+                self.telemetry.tracer.record(
+                    trace_id, "channel.packet_in", "channel",
+                    start=sent_at, end=arrival, dpid=handle.dpid,
+                )
         if self.packet_in_service_time <= 0:
-            self._process_packet_in(handle, msg, arrival)
+            self._process_packet_in(handle, msg, arrival, trace_id)
             return
         start = max(arrival, self._cpu_free_at)
         finish = start + self.packet_in_service_time
         self._cpu_free_at = finish
         self.sim.schedule_at(finish, self._process_packet_in,
-                             handle, msg, arrival)
+                             handle, msg, arrival, trace_id)
 
     def _process_packet_in(self, handle: SwitchHandle, msg: PacketIn,
-                           arrival: float) -> None:
+                           arrival: float,
+                           trace_id: Optional[int] = None) -> None:
         self.packet_ins_handled += 1
-        self.packet_in_delays.append(self.sim.now - arrival)
+        delay = self.sim.now - arrival
+        self.packet_in_delays.append(delay)
+        if self._m_packet_ins is not None:
+            self._m_packet_ins.inc()
+            self._m_pi_delay.observe(delay)
         packet = Packet.decode(msg.data)
-        self.publish(PacketInEvent(handle, msg.in_port, packet,
-                                   msg.reason))
+        if trace_id is not None:
+            packet.trace_id = trace_id
+            self.telemetry.tracer.record(
+                trace_id, "controller.dispatch", "controller",
+                start=arrival, dpid=handle.dpid, reason=msg.reason,
+            )
+        self._trace_ctx = trace_id
+        try:
+            self.publish(PacketInEvent(handle, msg.in_port, packet,
+                                       msg.reason))
+        finally:
+            self._trace_ctx = None
 
     # ------------------------------------------------------------------
     # Introspection

@@ -12,7 +12,7 @@ service, and edge-port classification feeds the host tracker.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, Optional, Set, Tuple
 
 import networkx as nx
 
@@ -24,7 +24,7 @@ from repro.controller.events import (
 )
 from repro.dataplane.actions import Output, PORT_CONTROLLER
 from repro.dataplane.match import Match
-from repro.packet import Ethernet, EtherType, LLDP, LLDP_MULTICAST, Packet
+from repro.packet import Ethernet, EtherType, LLDP, LLDP_MULTICAST
 
 __all__ = ["TopologyDiscovery", "DiscoveredLink"]
 

@@ -147,7 +147,13 @@ class HostMoved(Event):
 class PortStatsUpdate(Event):
     """A fresh port-stats sample set from the stats poller."""
 
-    def __init__(self, dpid: int, entries: list, interval: float) -> None:
+    def __init__(self, dpid: int, entries: list, interval: float,
+                 elapsed: Optional[float] = None) -> None:
         self.dpid = dpid
         self.entries = entries
+        #: The poller's nominal sampling interval (configuration).
         self.interval = interval
+        #: Measured time since the previous reply from this switch —
+        #: what rate computations should divide by, since replies can be
+        #: delayed by channel congestion.  ``None`` on the first sample.
+        self.elapsed = elapsed

@@ -104,10 +104,14 @@ class IntentService(App):
                 "IntentService needs TopologyDiscovery and HostTracker"
             )
         self._paths = PathService(self._discovery)
-        controller.subscribe(LinkVanished, self._on_link_vanished)
-        controller.subscribe(LinkDiscovered, self._on_link_discovered)
-        controller.subscribe(HostMoved, self._on_host_moved)
-        controller.subscribe(SwitchLeave, self._on_switch_leave_event)
+        controller.subscribe(LinkVanished, self._on_link_vanished,
+                             owner=self.name)
+        controller.subscribe(LinkDiscovered, self._on_link_discovered,
+                             owner=self.name)
+        controller.subscribe(HostMoved, self._on_host_moved,
+                             owner=self.name)
+        controller.subscribe(SwitchLeave, self._on_switch_leave_event,
+                             owner=self.name)
 
     # ------------------------------------------------------------------
     # Public API

@@ -9,7 +9,7 @@ out_port) hop list a flow programmer installs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import networkx as nx
 

@@ -50,10 +50,24 @@ class StatsPoller(App):
         self._last_sample: Dict[Tuple[int, int], Tuple] = {}
         #: (dpid, port) -> latest PortRate
         self.rates: Dict[Tuple[int, int], PortRate] = {}
+        #: dpid -> time of its previous stats reply (measured, per switch).
+        self._last_reply: Dict[int, float] = {}
         self._stop: Optional[Callable[[], None]] = None
+        self._g_rx = None
+        self._g_tx = None
 
     def start(self, controller) -> None:
         super().start(controller)
+        tel = controller.telemetry
+        if tel.enabled:
+            self._g_rx = tel.metrics.gauge(
+                "port_rx_bps", "Derived per-port receive rate",
+                ("dpid", "port"),
+            )
+            self._g_tx = tel.metrics.gauge(
+                "port_tx_bps", "Derived per-port transmit rate",
+                ("dpid", "port"),
+            )
         self._stop = controller.sim.call_every(
             self.interval, self._poll_all, jitter=0.01
         )
@@ -74,6 +88,9 @@ class StatsPoller(App):
         if reply.kind != StatsKind.PORT:
             return
         now = self.sim.now
+        last_reply = self._last_reply.get(switch.dpid)
+        elapsed = None if last_reply is None else now - last_reply
+        self._last_reply[switch.dpid] = now
         for entry in reply.entries:
             key = (switch.dpid, entry["port"])
             sample = (now, entry["rx_bytes"], entry["tx_bytes"],
@@ -85,15 +102,20 @@ class StatsPoller(App):
             dt = now - last[0]
             if dt <= 0:
                 continue
-            self.rates[key] = PortRate(
+            rate = PortRate(
                 switch.dpid, entry["port"],
                 rx_bps=(sample[1] - last[1]) * 8 / dt,
                 tx_bps=(sample[2] - last[2]) * 8 / dt,
                 rx_pps=(sample[3] - last[3]) / dt,
                 tx_pps=(sample[4] - last[4]) / dt,
             )
+            self.rates[key] = rate
+            if self._g_rx is not None:
+                labels = (str(switch.dpid), str(entry["port"]))
+                self._g_rx.labels(*labels).set(rate.rx_bps)
+                self._g_tx.labels(*labels).set(rate.tx_bps)
         self.controller.publish(PortStatsUpdate(
-            switch.dpid, reply.entries, self.interval
+            switch.dpid, reply.entries, self.interval, elapsed=elapsed
         ))
 
     # ------------------------------------------------------------------

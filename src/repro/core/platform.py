@@ -15,7 +15,7 @@ Profiles
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.apps.arp_proxy import ArpProxy
 from repro.apps.learning_switch import LearningSwitch
@@ -68,6 +68,7 @@ class ZenPlatform:
         intents: bool = False,
         probe_interval: float = 1.0,
         exact_match: bool = False,
+        telemetry=None,
     ) -> None:
         if profile not in _PROFILES:
             raise ControllerError(
@@ -80,7 +81,10 @@ class ZenPlatform:
             num_tables=num_tables,
             table_capacity=table_capacity,
             eviction_policy=eviction_policy,
+            telemetry=telemetry,
         )
+        #: The observability plane shared by every layer of this stack.
+        self.telemetry = self.net.telemetry
         self.controller = Controller(
             self.net.sim,
             packet_in_service_time=packet_in_service_time,

@@ -28,7 +28,7 @@ faithful to the algebra's semantics on a single-copy dataplane.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.dataplane.actions import (
     Action,
@@ -46,7 +46,6 @@ from repro.dataplane.actions import (
 )
 from repro.dataplane.match import Match
 from repro.errors import PolicyError
-from repro.packet import IPv4Address, MACAddress
 
 __all__ = [
     "Policy",

@@ -123,6 +123,21 @@ class FlowTable:
         self._seq = 0
         self.lookup_count = 0
         self.matched_count = 0
+        # Telemetry children; bound by attach_metrics(), else free no-ops.
+        self._m_lookups = None
+        self._m_matches = None
+
+    def attach_metrics(self, registry, dpid: int) -> None:
+        """Bind per-table lookup/match counters labelled by (dpid, table)."""
+        labels = (str(dpid), str(self.table_id))
+        self._m_lookups = registry.counter(
+            "table_lookups_total", "Flow-table lookups",
+            ("dpid", "table"),
+        ).labels(*labels)
+        self._m_matches = registry.counter(
+            "table_matches_total", "Flow-table lookup hits",
+            ("dpid", "table"),
+        ).labels(*labels)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -216,9 +231,13 @@ class FlowTable:
     def lookup(self, key: FlowKey) -> Optional[FlowEntry]:
         """The highest-priority entry matching ``key``, or ``None``."""
         self.lookup_count += 1
+        if self._m_lookups is not None:
+            self._m_lookups.inc()
         for entry in self._entries:
             if entry.match.matches(key):
                 self.matched_count += 1
+                if self._m_matches is not None:
+                    self._m_matches.inc()
                 return entry
         return None
 

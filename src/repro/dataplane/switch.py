@@ -11,7 +11,7 @@ layering is design principle #1 in DESIGN.md.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.dataplane.actions import (
     PORT_ALL,
@@ -30,6 +30,7 @@ from repro.dataplane.meter import MeterTable
 from repro.errors import DataplaneError
 from repro.packet import MACAddress, Packet
 from repro.sim import Simulator
+from repro.telemetry import ensure
 
 __all__ = ["Datapath", "Port", "PacketInReason", "TableMissBehaviour"]
 
@@ -125,6 +126,7 @@ class Datapath:
         eviction_policy: Optional[str] = None,
         miss_behaviour: str = TableMissBehaviour.CONTROLLER,
         expiry_interval: float = 1.0,
+        telemetry=None,
     ) -> None:
         if num_tables < 1:
             raise DataplaneError("a datapath needs at least one table")
@@ -135,6 +137,32 @@ class Datapath:
                       eviction_policy=eviction_policy)
             for i in range(num_tables)
         ]
+        tel = ensure(telemetry)
+        self.telemetry = tel
+        self._tracing = tel.tracing
+        if tel.enabled:
+            d = str(dpid)
+            registry = tel.metrics
+            self._m_rx = registry.counter(
+                "switch_rx_packets_total", "Packets entering the pipeline",
+                ("dpid",),
+            ).labels(d)
+            self._m_fwd = registry.counter(
+                "switch_forwarded_total", "Packets emitted on a port",
+                ("dpid",),
+            ).labels(d)
+            self._m_drop = registry.counter(
+                "switch_dropped_total", "Packets dropped by the pipeline",
+                ("dpid",),
+            ).labels(d)
+            self._m_punt = registry.counter(
+                "switch_packet_ins_total", "Packets punted to the controller",
+                ("dpid",),
+            ).labels(d)
+            for flow_table in self.tables:
+                flow_table.attach_metrics(registry, dpid)
+        else:
+            self._m_rx = self._m_fwd = self._m_drop = self._m_punt = None
         self.groups = GroupTable()
         self.meters = MeterTable()
         self.ports: Dict[int, Port] = {}
@@ -239,12 +267,19 @@ class Datapath:
         """A packet arrived on ``in_port``; run it through the pipeline."""
         port = self.ports.get(in_port)
         if port is None or not port.up:
-            self.packets_dropped += 1
+            self._count_drop()
             return
         size = len(packet)
         port.rx_packets += 1
         port.rx_bytes += size
         self.packets_received += 1
+        if self._m_rx is not None:
+            self._m_rx.inc()
+        if packet.trace_id is not None and self._tracing:
+            self.telemetry.tracer.record(
+                packet.trace_id, "switch.pipeline", "dataplane",
+                dpid=self.dpid, in_port=in_port,
+            )
         self._run_pipeline(packet, in_port, table_id=0)
 
     def _run_pipeline(self, packet: Packet, in_port: int,
@@ -253,6 +288,13 @@ class Datapath:
         while True:
             key = FlowKey.from_packet(packet, in_port)
             entry = self.tables[table_id].lookup(key)
+            if packet.trace_id is not None and self._tracing:
+                self.telemetry.tracer.record(
+                    packet.trace_id, "table.lookup", "dataplane",
+                    dpid=self.dpid, table=table_id,
+                    hit=entry is not None,
+                    priority=entry.priority if entry is not None else "-",
+                )
             if entry is None:
                 self._handle_miss(packet, in_port, table_id)
                 return
@@ -277,12 +319,12 @@ class Datapath:
             if table_id + 1 < len(self.tables):
                 self._run_pipeline(packet, in_port, table_id + 1)
             else:
-                self.packets_dropped += 1
+                self._count_drop()
             return
         if behaviour == TableMissBehaviour.CONTROLLER:
             self._punt(packet, in_port, PacketInReason.NO_MATCH)
             return
-        self.packets_dropped += 1
+        self._count_drop()
 
     def _execute(
         self,
@@ -308,7 +350,7 @@ class Datapath:
         size = len(rewritten)
         for meter_id in meter_ids:
             if not self.meters.get(meter_id).allow(size, self.sim.now):
-                self.packets_dropped += 1
+                self._count_drop()
                 return None
         for port_no in out_ports:
             self._emit(rewritten, in_port, port_no)
@@ -316,7 +358,7 @@ class Datapath:
             self._run_group(rewritten, in_port, key, group_id, depth)
         if not out_ports and not group_ids and not meter_ids and not has_goto:
             # Empty action list with no continuation = explicit drop.
-            self.packets_dropped += 1
+            self._count_drop()
         return rewritten
 
     def _run_group(self, packet: Packet, in_port: int, key: FlowKey,
@@ -328,7 +370,7 @@ class Datapath:
         group = self.groups.get(group_id)
         buckets = group.select_buckets(key, self.port_is_live)
         if not buckets:
-            self.packets_dropped += 1
+            self._count_drop()
             return
         for bucket in buckets:
             self._execute(bucket.actions, packet, in_port, key, depth + 1)
@@ -356,14 +398,14 @@ class Datapath:
             # ingress port unless IN_PORT is named explicitly.  Without
             # this guard a dst-rule whose learned port equals the
             # ingress hairpins the frame and poisons upstream learning.
-            self.packets_dropped += 1
+            self._count_drop()
             return
         self._transmit_one(packet, port_no)
 
     def _transmit_one(self, packet: Packet, port_no: int) -> None:
         port = self.ports.get(port_no)
         if port is None or not port.up:
-            self.packets_dropped += 1
+            self._count_drop()
             if port is not None:
                 port.tx_drops += 1
             return
@@ -371,6 +413,13 @@ class Datapath:
         port.tx_packets += 1
         port.tx_bytes += size
         self.packets_forwarded += 1
+        if self._m_fwd is not None:
+            self._m_fwd.inc()
+        if packet.trace_id is not None and self._tracing:
+            self.telemetry.tracer.record(
+                packet.trace_id, "switch.forward", "dataplane",
+                dpid=self.dpid, port=port_no,
+            )
         self.transmit(port_no, packet.copy())
 
     def send_packet_out(self, packet: Packet, actions: Iterable[Action],
@@ -381,8 +430,20 @@ class Datapath:
 
     def _punt(self, packet: Packet, in_port: int, reason: str) -> None:
         self.packets_to_controller += 1
+        if self._m_punt is not None:
+            self._m_punt.inc()
+        if packet.trace_id is not None and self._tracing:
+            self.telemetry.tracer.record(
+                packet.trace_id, "switch.punt", "dataplane",
+                dpid=self.dpid, reason=reason,
+            )
         if self.on_packet_in is not None:
             self.on_packet_in(packet.copy(), in_port, reason)
+
+    def _count_drop(self) -> None:
+        self.packets_dropped += 1
+        if self._m_drop is not None:
+            self._m_drop.inc()
 
     # ------------------------------------------------------------------
     # Housekeeping
@@ -414,6 +475,11 @@ class Datapath:
 
     def _notify_removed(self, table_id: int, entry: FlowEntry,
                         reason: str) -> None:
+        # Export a flow record regardless of whether the controller asked
+        # for a removal notification — NetFlow sees everything.
+        self.telemetry.flows.record_removal(
+            self.dpid, table_id, entry, reason, self.sim.now
+        )
         if self.on_flow_removed is not None:
             self.on_flow_removed(table_id, entry, reason)
 

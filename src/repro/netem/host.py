@@ -16,17 +16,16 @@ from repro.packet import (
     ARP,
     BROADCAST_MAC,
     Ethernet,
-    EtherType,
     ICMP,
     ICMPType,
     IPv4,
     IPv4Address,
     MACAddress,
     Packet,
-    Raw,
     UDP,
 )
 from repro.sim import Signal, Simulator
+from repro.telemetry import ensure
 
 __all__ = ["Host", "PingSession"]
 
@@ -107,9 +106,11 @@ class Host:
         name: str,
         mac: MACAddress,
         ip: IPv4Address,
+        telemetry=None,
     ) -> None:
         self.sim = sim
         self.name = name
+        self._tel = ensure(telemetry)
         self.mac = MACAddress(mac)
         self.ip = IPv4Address(ip)
         self._link = None  # set by attach()
@@ -152,6 +153,16 @@ class Host:
             raise TopologyError(f"host {self.name} has no link")
         self.tx_packets += 1
         self.tx_bytes += len(packet)
+        tel = self._tel
+        if tel.tracing and packet.trace_id is None:
+            # A trace begins where the packet does.  The label is built
+            # from header class names (not summary()) to avoid an extra
+            # encode on the transmit path.
+            label = "/".join(type(h).__name__ for h in packet.headers)
+            tid = tel.tracer.start_trace(f"{self.name} {label}")
+            if tid is not None:
+                packet.trace_id = tid
+                tel.tracer.record(tid, "host.tx", "host", host=self.name)
         self._link.send_from(self.name, packet)
 
     def send_ip(self, dst_ip: Union[str, IPv4Address],
@@ -264,6 +275,9 @@ class Host:
         """Entry point wired to the host's link attachment."""
         self.rx_packets += 1
         self.rx_bytes += len(packet)
+        if packet.trace_id is not None and self._tel.tracing:
+            self._tel.tracer.record(packet.trace_id, "host.rx", "host",
+                                    host=self.name)
         if self.on_receive is not None:
             self.on_receive(packet)
         eth = packet.get(Ethernet)

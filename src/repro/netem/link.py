@@ -78,6 +78,11 @@ class _Direction:
         "_transmitting",
         "band_tx_packets",
         "band_dropped",
+        "name",
+        "_tracer",
+        "_m_tx_pkts",
+        "_m_tx_bytes",
+        "_m_drops",
     )
 
     def __init__(self, sim: Simulator, bandwidth_bps: float, delay: float,
@@ -85,6 +90,13 @@ class _Direction:
                  priority_bands: int = 1,
                  classifier=None) -> None:
         self.sim = sim
+        # Telemetry is attached after construction by the owning Link
+        # (it knows the endpoint names); until then everything is off.
+        self.name = ""
+        self._tracer = None
+        self._m_tx_pkts = None
+        self._m_tx_bytes = None
+        self._m_drops = None
         self.bandwidth_bps = bandwidth_bps
         self.delay = delay
         self.loss_rate = loss_rate
@@ -107,6 +119,34 @@ class _Direction:
         self.band_tx_packets = [0] * priority_bands
         self.band_dropped = [0] * priority_bands
 
+    def attach_telemetry(self, telemetry, name: str) -> None:
+        """Bind metric children and the tracer; no-op when disabled."""
+        self.name = name
+        if not telemetry.enabled:
+            return
+        if telemetry.tracing:
+            self._tracer = telemetry.tracer
+        registry = telemetry.metrics
+        self._m_tx_pkts = registry.counter(
+            "link_tx_packets_total", "Packets transmitted per direction",
+            ("link",),
+        ).labels(name)
+        self._m_tx_bytes = registry.counter(
+            "link_tx_bytes_total", "Bytes transmitted per direction",
+            ("link",),
+        ).labels(name)
+        self._m_drops = registry.counter(
+            "link_dropped_total", "Packets dropped per direction",
+            ("link", "reason"),
+        )
+
+    def _drop(self, packet: Packet, reason: str) -> None:
+        if self._m_drops is not None:
+            self._m_drops.labels(self.name, reason).inc()
+        if self._tracer is not None and packet.trace_id is not None:
+            self._tracer.record(packet.trace_id, "link.drop", "link",
+                                link=self.name, reason=reason)
+
     def send(self, packet: Packet, up: bool) -> None:
         if not up or self.dst is None:
             return
@@ -120,6 +160,7 @@ class _Direction:
             # Drop-tail: if the backlog exceeds capacity, the packet dies.
             if self.queue_capacity and self.queued >= self.queue_capacity:
                 self.dropped_queue += 1
+                self._drop(packet, "queue")
                 return
             tx_time = size * 8 / self.bandwidth_bps
             depart = start + tx_time
@@ -132,11 +173,18 @@ class _Direction:
             depart = now
         if self.loss_rate and self.rng.random() < self.loss_rate:
             self.dropped_loss += 1
+            self._drop(packet, "loss")
             # The transmitter still burned the airtime; only delivery fails.
             return
         self.tx_packets += 1
         self.tx_bytes += size
         arrival = depart + self.delay
+        if self._m_tx_pkts is not None:
+            self._m_tx_pkts.inc()
+            self._m_tx_bytes.inc(size)
+        if self._tracer is not None and packet.trace_id is not None:
+            self._tracer.record(packet.trace_id, "link.transit", "link",
+                                start=now, end=arrival, link=self.name)
         self.sim.schedule_at(arrival, self._arrive, packet)
 
     def _dequeue(self) -> None:
@@ -159,6 +207,7 @@ class _Direction:
         if per_band and len(self.bands[band]) >= per_band:
             self.dropped_queue += 1
             self.band_dropped[band] += 1
+            self._drop(packet, "queue")
             return
         self.bands[band].append(packet)
         if not self._transmitting:
@@ -179,10 +228,21 @@ class _Direction:
         self._window_busy += tx_time
         if self.loss_rate and self.rng.random() < self.loss_rate:
             self.dropped_loss += 1
+            self._drop(packet, "loss")
         else:
             self.tx_packets += 1
             self.tx_bytes += size
             self.band_tx_packets[band] += 1
+            if self._m_tx_pkts is not None:
+                self._m_tx_pkts.inc()
+                self._m_tx_bytes.inc(size)
+            if self._tracer is not None and packet.trace_id is not None:
+                now = self.sim.now
+                self._tracer.record(
+                    packet.trace_id, "link.transit", "link",
+                    start=now, end=now + tx_time + self.delay,
+                    link=self.name, band=band,
+                )
             self.sim.schedule(tx_time + self.delay, self._arrive, packet)
         self.sim.schedule(tx_time, self._transmit_next)
 
@@ -253,6 +313,18 @@ class Link:
                               classifier=classifier)
         self._ab.dst = b
         self._ba.dst = a
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Name both directions and bind their metrics/tracer."""
+        if telemetry is None or not telemetry.enabled:
+            return
+        a, b = self.a, self.b
+        self._ab.attach_telemetry(
+            telemetry, f"{a.node_name}:{a.port_no}->{b.node_name}:{b.port_no}"
+        )
+        self._ba.attach_telemetry(
+            telemetry, f"{b.node_name}:{b.port_no}->{a.node_name}:{a.port_no}"
+        )
 
     # ------------------------------------------------------------------
     # Data transfer

@@ -10,7 +10,7 @@ boundary (see :mod:`repro.core.platform`).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.dataplane.switch import Datapath
 from repro.errors import TopologyError
@@ -47,10 +47,19 @@ class Network:
         table_capacity: int = 0,
         eviction_policy: Optional[str] = None,
         miss_behaviour: str = "controller",
+        telemetry=None,
     ) -> None:
         topology.validate()
         self.topology = topology
-        self.sim = sim if sim is not None else Simulator(seed=seed)
+        if sim is not None:
+            self.sim = sim
+            # An existing kernel brings its own telemetry plane along.
+            if telemetry is None:
+                telemetry = sim.telemetry
+        else:
+            self.sim = Simulator(seed=seed, telemetry=telemetry)
+            telemetry = self.sim.telemetry
+        self.telemetry = telemetry
         self.switches: Dict[str, Datapath] = {}
         self.hosts: Dict[str, Host] = {}
         self.links: List[Link] = []
@@ -69,13 +78,15 @@ class Network:
                 table_capacity=table_capacity,
                 eviction_policy=eviction_policy,
                 miss_behaviour=miss_behaviour,
+                telemetry=telemetry,
             )
             self.switches[spec.name] = dp
             self._port_map[spec.name] = {}
             self._next_port[spec.name] = 1
         for spec in topology.hosts:
             self.hosts[spec.name] = Host(
-                self.sim, spec.name, spec.mac, spec.ip
+                self.sim, spec.name, spec.mac, spec.ip,
+                telemetry=telemetry,
             )
         for link_spec in topology.links:
             self._build_link(link_spec)
@@ -107,6 +118,7 @@ class Network:
             queue_capacity=spec.queue_capacity,
             priority_bands=spec.priority_bands,
         )
+        link.attach_telemetry(self.telemetry)
         self.links.append(link)
         self._link_index[(spec.a, spec.b)] = link
         self._link_index[(spec.b, spec.a)] = link
@@ -190,7 +202,9 @@ class Network:
                 f"switch {switch_name} already has a control channel"
             )
         channel = ControlChannel(self.sim, latency=latency,
-                                 bandwidth_bps=bandwidth_bps)
+                                 bandwidth_bps=bandwidth_bps,
+                                 telemetry=self.telemetry,
+                                 name=switch_name)
         agent = SwitchAgent(self.switches[switch_name], channel,
                             flowmod_delay=flowmod_delay)
         self._channels[switch_name] = channel

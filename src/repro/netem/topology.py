@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import TopologyError
 from repro.packet import IPv4Address, MACAddress

@@ -100,10 +100,15 @@ class Raw(Header):
 class Packet:
     """An ordered stack of headers plus trailing payload bytes."""
 
-    __slots__ = ("headers",)
+    __slots__ = ("headers", "trace_id")
 
     def __init__(self, headers: Optional[Sequence[Header]] = None) -> None:
         self.headers: List[Header] = list(headers or [])
+        #: Telemetry trace id (``repro.telemetry``); ``None`` when the
+        #: frame is untraced.  Out-of-band metadata: never serialised,
+        #: never part of equality, but preserved across :meth:`copy` so
+        #: flooded duplicates stay in their originator's trace.
+        self.trace_id: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -124,7 +129,9 @@ class Packet:
         original, which matters when a switch floods one packet out many
         ports and an app rewrites one of the copies.
         """
-        return Packet.decode(self.encode())
+        clone = Packet.decode(self.encode())
+        clone.trace_id = self.trace_id
+        return clone
 
     # ------------------------------------------------------------------
     # Introspection

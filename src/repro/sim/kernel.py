@@ -180,7 +180,7 @@ class Simulator:
         :meth:`fork_rng` child) so a run is fully determined by this value.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, telemetry=None) -> None:
         self._now = 0.0
         self._heap: list[_QueueEntry] = []
         self._seq = itertools.count()
@@ -188,6 +188,22 @@ class Simulator:
         self.seed = seed
         self.rng = random.Random(seed)
         self._rng_children = 0
+        # Telemetry is optional and passive: the kernel publishes event
+        # counts and lends the tracer its clock, but telemetry can never
+        # schedule events or draw randomness — determinism is untouched.
+        if telemetry is None:
+            from repro.telemetry import NULL_TELEMETRY
+            telemetry = NULL_TELEMETRY
+        self.telemetry = telemetry
+        self._tel_on = telemetry.enabled
+        telemetry.bind_clock(lambda: self._now)
+        self._m_events = telemetry.metrics.counter(
+            "sim_events_total",
+            "Events executed by the kernel run loop",
+        )
+        self._m_now = telemetry.metrics.gauge(
+            "sim_now_seconds", "Simulated clock at the last run() exit"
+        )
 
     # ------------------------------------------------------------------
     # Time and scheduling
@@ -317,6 +333,7 @@ class Simulator:
             The number of events executed by this call.
         """
         executed = 0
+        tel_on = self._tel_on
         while self._heap:
             if max_events is not None and executed >= max_events:
                 break
@@ -333,6 +350,9 @@ class Simulator:
             executed += 1
         if until is not None and self._now < until:
             self._now = until
+        if tel_on:
+            self._m_events.inc(executed)
+            self._m_now.set(self._now)
         return executed
 
     def run_until_idle(self, max_events: int = 10_000_000) -> int:

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.dataplane.flowtable import FlowEntry
-from repro.dataplane.match import Match
+from repro.dataplane.meter import MeterEntry
 from repro.dataplane.switch import Datapath, Port
 from repro.errors import DataplaneError, TableFullError
 from repro.packet import Packet
@@ -53,8 +53,6 @@ from repro.southbound.messages import (
 
 __all__ = ["SwitchAgent"]
 
-from repro.dataplane.meter import MeterEntry
-
 
 class SwitchAgent:
     """Binds one datapath to one control channel (switch side)."""
@@ -69,6 +67,7 @@ class SwitchAgent:
         self.channel = channel
         self.endpoint: ChannelEndpoint = channel.switch_end
         self.flowmod_delay = flowmod_delay
+        self._tel = datapath.telemetry
         self.peer_version: Optional[int] = None
         self.controller_role = ControllerRole.EQUAL
         self.generation_id = 0
@@ -95,7 +94,14 @@ class SwitchAgent:
                       reason: str) -> None:
         if not self.channel.connected:
             return
-        self.endpoint.send(PacketIn(in_port, reason, packet.encode()))
+        data = packet.encode()
+        if packet.trace_id is not None and self._tel.tracing:
+            # The trace id cannot ride the wire; stash it keyed by the
+            # encoded bytes and the controller adopts it on arrival.
+            # Valid because the channel is ordered and lossless.
+            self._tel.tracer.stash(("packet_in", in_port, data),
+                                   packet.trace_id)
+        self.endpoint.send(PacketIn(in_port, reason, data))
 
     def _on_flow_removed(self, table_id: int, entry: FlowEntry,
                          reason: str) -> None:
@@ -255,6 +261,16 @@ class SwitchAgent:
     def _apply_packet_out(self, msg: PacketOut) -> None:
         try:
             packet = Packet.decode(msg.data)
+            if self._tel.tracing:
+                tid, sent_at = self._tel.tracer.adopt(
+                    ("packet_out", self.datapath.dpid, msg.data)
+                )
+                if tid is not None:
+                    packet.trace_id = tid
+                    self._tel.tracer.record(
+                        tid, "channel.packet_out", "channel",
+                        start=sent_at, dpid=self.datapath.dpid,
+                    )
             self.datapath.send_packet_out(packet, msg.actions, msg.in_port)
         except DataplaneError as exc:
             self._send_error(msg, Error.BAD_ACTION, str(exc))

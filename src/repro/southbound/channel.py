@@ -74,6 +74,9 @@ class ChannelEndpoint:
         self._next_xid = 1
         self._pending: Dict[int, Callable[[Message], None]] = {}
         self.peer: "ChannelEndpoint" = None  # set by the channel
+        # Telemetry children; bound by ControlChannel when enabled.
+        self._m_msgs = None
+        self._m_bytes = None
 
     def send(self, msg: Message) -> int:
         """Transmit ``msg``; assigns an xid when the caller left it 0."""
@@ -87,6 +90,9 @@ class ChannelEndpoint:
             self._next_xid += 1
         wire = encode_message(msg)
         self.sent.record(msg, len(wire))
+        if self._m_msgs is not None:
+            self._m_msgs.inc()
+            self._m_bytes.inc(len(wire))
         self._channel._deliver(self, wire)
         return msg.xid
 
@@ -143,11 +149,14 @@ class ControlChannel:
         sim: Simulator,
         latency: float = 0.001,
         bandwidth_bps: float = 0.0,
+        telemetry=None,
+        name: str = "",
     ) -> None:
         self.sim = sim
         self.latency = latency
         self.bandwidth_bps = bandwidth_bps
         self.connected = False
+        self.name = name
         self.switch_end = ChannelEndpoint(self, "switch")
         self.controller_end = ChannelEndpoint(self, "controller")
         self.switch_end.peer = self.controller_end
@@ -156,6 +165,20 @@ class ControlChannel:
             self.switch_end: 0.0,
             self.controller_end: 0.0,
         }
+        if telemetry is not None and telemetry.enabled:
+            msgs = telemetry.metrics.counter(
+                "channel_messages_total", "Control messages sent",
+                ("channel", "direction"),
+            )
+            nbytes = telemetry.metrics.counter(
+                "channel_bytes_total", "Control bytes sent (wire size)",
+                ("channel", "direction"),
+            )
+            label = name or "channel"
+            self.switch_end._m_msgs = msgs.labels(label, "to_controller")
+            self.switch_end._m_bytes = nbytes.labels(label, "to_controller")
+            self.controller_end._m_msgs = msgs.labels(label, "to_switch")
+            self.controller_end._m_bytes = nbytes.labels(label, "to_switch")
 
     def connect(self) -> None:
         """Bring the channel up and notify both endpoints."""

@@ -1,0 +1,130 @@
+"""repro.telemetry — the unified observability plane.
+
+One :class:`Telemetry` object bundles the four telemetry primitives and
+is threaded through the whole stack by :class:`~repro.core.platform.ZenPlatform`:
+
+* :class:`~repro.telemetry.registry.MetricsRegistry` — counters, gauges,
+  histograms with labels, published by the sim kernel, links, datapaths,
+  control channels, and the controller;
+* :class:`~repro.telemetry.trace.Tracer` — packet-lifecycle spans
+  (host TX → link → table lookup → punt → dispatch → app → flow-mod);
+* :class:`~repro.telemetry.flowrecords.FlowRecordExporter` — NetFlow
+  style records emitted on flow expiry/removal;
+* :class:`~repro.telemetry.flowrecords.AppProfiler` — wall-clock profile
+  of controller event handling by app.
+
+Components default to the module-level :data:`NULL_TELEMETRY`, a shared
+disabled instance whose registries/tracers are no-ops — with telemetry
+off, the hot paths pay at most a cached boolean check, and a run's event
+sequence is bit-identical to one on a build without telemetry at all
+(enforced by ``tests/test_telemetry.py``).
+
+Telemetry must never perturb the simulation: nothing in this package
+schedules events or draws from the kernel RNG.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.telemetry.flowrecords import (
+    NULL_FLOW_RECORDS,
+    NULL_PROFILER,
+    AppProfiler,
+    FlowRecord,
+    FlowRecordExporter,
+    NullAppProfiler,
+    NullFlowRecordExporter,
+)
+from repro.telemetry.registry import (
+    NULL_METRIC,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.telemetry.trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "AppProfiler",
+    "Counter",
+    "FlowRecord",
+    "FlowRecordExporter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_FLOW_RECORDS",
+    "NULL_METRIC",
+    "NULL_PROFILER",
+    "NULL_REGISTRY",
+    "NULL_TELEMETRY",
+    "NULL_TRACER",
+    "NullAppProfiler",
+    "NullFlowRecordExporter",
+    "NullRegistry",
+    "NullTracer",
+    "Span",
+    "Telemetry",
+    "Tracer",
+]
+
+
+class Telemetry:
+    """The assembled observability plane for one platform/run."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        trace: bool = True,
+        trace_sample_every: int = 1,
+        max_traces: int = 256,
+        max_flow_records: int = 10_000,
+        profile: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        if enabled:
+            self.metrics: MetricsRegistry = MetricsRegistry()
+            self.tracer: Tracer = (
+                Tracer(sample_every=trace_sample_every,
+                       max_traces=max_traces)
+                if trace else NULL_TRACER
+            )
+            self.flows: FlowRecordExporter = FlowRecordExporter(
+                max_records=max_flow_records
+            )
+            self.profiler: AppProfiler = (
+                AppProfiler() if profile else NULL_PROFILER
+            )
+        else:
+            self.metrics = NULL_REGISTRY
+            self.tracer = NULL_TRACER
+            self.flows = NULL_FLOW_RECORDS
+            self.profiler = NULL_PROFILER
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer.enabled
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Point the tracer at the simulation clock.
+
+        Called by :class:`~repro.sim.kernel.Simulator` when a telemetry
+        object is attached, so spans are stamped with simulated time.
+        """
+        if self.tracer.enabled:
+            self.tracer.clock = clock
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"<Telemetry {state}>"
+
+
+#: Shared disabled instance used as the default everywhere.
+NULL_TELEMETRY = Telemetry(enabled=False)
+
+
+def ensure(telemetry: Optional[Telemetry]) -> Telemetry:
+    """``telemetry`` if given, else the shared disabled instance."""
+    return telemetry if telemetry is not None else NULL_TELEMETRY

@@ -1,0 +1,188 @@
+"""Exporters: metrics/traces/flow records as JSON or human tables.
+
+Everything here is read-only over the telemetry plane and deterministic
+for a given run — with one deliberate exception: the app *profile*
+reports host wall-clock time, which varies between runs, so it is kept
+out of :func:`snapshot` and :func:`render_report` unless explicitly
+requested.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Tuple
+
+from repro.analysis.report import Table
+from repro.telemetry.trace import Span, Tracer
+
+__all__ = [
+    "best_trace",
+    "flow_records_table",
+    "metrics_table",
+    "profile_table",
+    "render_report",
+    "render_trace",
+    "snapshot",
+    "to_json",
+]
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+def _format_value(value) -> str:
+    if isinstance(value, dict):  # histogram
+        return f"count={value['count']} sum={value['sum']:.6g}"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def metrics_table(registry) -> Table:
+    """One row per (family, label set), sorted — the metrics dump."""
+    table = Table("Metrics", ["metric", "kind", "labels", "value"])
+    for name, family in sorted(registry.snapshot().items()):
+        for key, value in family["values"].items():
+            table.add_row(name, family["kind"], key or "-",
+                          _format_value(value))
+    return table
+
+
+# ----------------------------------------------------------------------
+# Traces
+# ----------------------------------------------------------------------
+def best_trace(
+    tracer: Tracer,
+) -> Optional[Tuple[int, str, List[Span]]]:
+    """The most complete trace: most stages crossed, then most spans.
+
+    Ties break toward the lowest trace id, so the pick is deterministic.
+    """
+    ranked = sorted(
+        tracer.traces(),
+        key=lambda t: (-len({s.stage for s in t[2]}), -len(t[2]), t[0]),
+    )
+    for tid, label, spans in ranked:
+        if spans:
+            return tid, label, spans
+    return None
+
+
+def render_trace(trace_id: int, label: str, spans: List[Span]) -> str:
+    """A packet trace as an aligned per-span latency breakdown."""
+    if not spans:
+        return f"trace #{trace_id} {label}: (no spans)"
+    origin = min(s.start for s in spans)
+    lines = [f"trace #{trace_id}  {label}  "
+             f"({len(spans)} spans, {max(s.end for s in spans) - origin:.6f}s)"]
+    for span in sorted(spans, key=lambda s: (s.start, s.end)):
+        attrs = " ".join(
+            f"{k}={v}" for k, v in sorted(span.attrs.items())
+        )
+        lines.append(
+            f"  t+{span.start - origin:.6f}s "
+            f"{'+' + format(span.duration, '.6f') + 's':>12} "
+            f"{span.name:<18} [{span.stage:<10}] {attrs}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Flow records
+# ----------------------------------------------------------------------
+def flow_records_table(exporter) -> Table:
+    table = Table(
+        "Flow records",
+        ["dpid", "table", "five-tuple", "packets", "bytes", "duration",
+         "reason"],
+    )
+    for record in exporter.records:
+        table.add_row(record.dpid, record.table_id, record.five_tuple,
+                      record.packets, record.bytes,
+                      f"{record.duration:.3f}s", record.reason)
+    return table
+
+
+# ----------------------------------------------------------------------
+# Profile
+# ----------------------------------------------------------------------
+def profile_table(profiler, wall: bool = True) -> Table:
+    """Controller event-handling profile by app.
+
+    With ``wall=True`` (the default) the table includes host wall-clock
+    columns, which are **not** deterministic across runs.
+    """
+    if wall:
+        table = Table(
+            "Controller event handling by app (wall time is host time, "
+            "not simulated)",
+            ["app", "event", "calls", "wall ms", "avg us"],
+        )
+        for app, event, calls, seconds in profiler.rows():
+            table.add_row(app, event, calls, f"{seconds * 1e3:.3f}",
+                          f"{seconds / calls * 1e6:.1f}")
+    else:
+        table = Table("Controller events handled by app",
+                      ["app", "event", "calls"])
+        for app, events in profiler.call_counts().items():
+            for event, calls in events.items():
+                table.add_row(app, event, calls)
+    return table
+
+
+# ----------------------------------------------------------------------
+# Whole-plane snapshot
+# ----------------------------------------------------------------------
+def snapshot(telemetry, include_wall_profile: bool = False) -> dict:
+    """The full telemetry plane as one JSON-ready dict.
+
+    Deterministic for a given seed unless ``include_wall_profile`` is
+    set (wall times are host-dependent).
+    """
+    doc = {
+        "enabled": telemetry.enabled,
+        "metrics": telemetry.metrics.snapshot(),
+        "traces": telemetry.tracer.to_dict(),
+        "flow_records": telemetry.flows.to_dict(),
+        "profile_calls": telemetry.profiler.call_counts(),
+    }
+    if include_wall_profile:
+        doc["profile_wall"] = [
+            {"app": app, "event": event, "calls": calls,
+             "wall_seconds": seconds}
+            for app, event, calls, seconds in telemetry.profiler.rows()
+        ]
+    return doc
+
+
+def to_json(telemetry, include_wall_profile: bool = False,
+            indent: int = 2) -> str:
+    return json.dumps(
+        snapshot(telemetry, include_wall_profile=include_wall_profile),
+        indent=indent, sort_keys=True, default=str,
+    )
+
+
+def render_report(telemetry, include_wall_profile: bool = False) -> str:
+    """The human-readable report the ``telemetry`` CLI command prints."""
+    parts = [metrics_table(telemetry.metrics).render()]
+
+    tracer = telemetry.tracer
+    pick = best_trace(tracer)
+    parts.append(f"\nPacket traces: {tracer.trace_count} captured"
+                 + (f", {tracer.dropped} dropped (cap)"
+                    if tracer.dropped else ""))
+    if pick is not None:
+        parts.append(render_trace(*pick))
+
+    flows = telemetry.flows
+    parts.append(f"\nFlow records: {len(flows)} exported"
+                 + (f", {flows.dropped} dropped (cap)"
+                    if flows.dropped else ""))
+    if len(flows):
+        parts.append(flow_records_table(flows).render())
+
+    if include_wall_profile:
+        parts.append("")
+        parts.append(profile_table(telemetry.profiler, wall=True).render())
+    return "\n".join(parts)

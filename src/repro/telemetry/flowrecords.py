@@ -1,0 +1,219 @@
+"""NetFlow-style flow records, emitted on flow expiry/removal.
+
+Every flow entry that leaves a datapath's table — idle/hard timeout,
+explicit delete, capacity eviction — becomes one :class:`FlowRecord`
+carrying the rule's match (including the classic 5-tuple when the rule
+constrains it), its byte/packet counters, and its lifetime.  Entries
+still resident at the end of a run can be flushed with
+:meth:`FlowRecordExporter.flush_datapath` so short experiments always
+export a complete picture.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["FlowRecord", "FlowRecordExporter", "NULL_FLOW_RECORDS",
+           "NullFlowRecordExporter"]
+
+#: The classic NetFlow v5 key fields, in order.
+FIVE_TUPLE_FIELDS = ("ip_src", "ip_dst", "ip_proto", "l4_src", "l4_dst")
+
+
+class FlowRecord:
+    """One expired/removed flow, in exporter form."""
+
+    __slots__ = ("dpid", "table_id", "priority", "cookie", "fields",
+                 "packets", "bytes", "start", "duration", "reason")
+
+    def __init__(self, dpid: int, table_id: int, priority: int,
+                 cookie: int, fields: dict, packets: int, nbytes: int,
+                 start: float, duration: float, reason: str) -> None:
+        self.dpid = dpid
+        self.table_id = table_id
+        self.priority = priority
+        self.cookie = cookie
+        #: Constrained match fields, stringified for stable export.
+        self.fields = fields
+        self.packets = packets
+        self.bytes = nbytes
+        self.start = start
+        self.duration = duration
+        self.reason = reason
+
+    @property
+    def five_tuple(self) -> str:
+        """``src>dst proto sport>dport`` with ``*`` for wildcards."""
+        get = self.fields.get
+        proto = get("ip_proto", "*")
+        return (
+            f"{get('ip_src', '*')}>{get('ip_dst', '*')} "
+            f"proto={proto} {get('l4_src', '*')}>{get('l4_dst', '*')}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "dpid": self.dpid,
+            "table": self.table_id,
+            "priority": self.priority,
+            "cookie": self.cookie,
+            "match": dict(sorted(self.fields.items())),
+            "packets": self.packets,
+            "bytes": self.bytes,
+            "start": self.start,
+            "duration": self.duration,
+            "reason": self.reason,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<FlowRecord dpid={self.dpid} {self.five_tuple} "
+            f"{self.packets}pkt/{self.bytes}B {self.reason}>"
+        )
+
+
+def _entry_fields(entry) -> dict:
+    """The constrained match fields of a flow entry, stringified."""
+    fields = {}
+    match_fields = getattr(entry.match, "fields", None)
+    if callable(match_fields):
+        match_fields = match_fields()
+    if isinstance(match_fields, dict):
+        for name, value in match_fields.items():
+            if value is not None:
+                fields[name] = str(value)
+    return fields
+
+
+class FlowRecordExporter:
+    """Accumulates flow records, bounded to keep long runs sane."""
+
+    enabled = True
+
+    def __init__(self, max_records: int = 10_000) -> None:
+        self.max_records = max_records
+        self.records: List[FlowRecord] = []
+        self.dropped = 0
+
+    def record_removal(self, dpid: int, table_id: int, entry,
+                       reason: str, now: float) -> None:
+        """Export one entry that just left a flow table."""
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(FlowRecord(
+            dpid=dpid,
+            table_id=table_id,
+            priority=entry.priority,
+            cookie=entry.cookie,
+            fields=_entry_fields(entry),
+            packets=entry.packet_count,
+            nbytes=entry.byte_count,
+            start=entry.install_time,
+            duration=now - entry.install_time,
+            reason=reason,
+        ))
+
+    def flush_datapath(self, datapath, reason: str = "active") -> int:
+        """Emit records for entries still resident in ``datapath``.
+
+        Returns the number of records emitted.  Use at end-of-run so
+        flows that never timed out still appear in the export.
+        """
+        emitted = 0
+        now = datapath.sim.now
+        for table in datapath.tables:
+            for entry in table:
+                self.record_removal(datapath.dpid, table.table_id, entry,
+                                    reason, now)
+                emitted += 1
+        return emitted
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def by_dpid(self, dpid: int) -> List[FlowRecord]:
+        return [r for r in self.records if r.dpid == dpid]
+
+    def total_bytes(self) -> int:
+        return sum(r.bytes for r in self.records)
+
+    def to_dict(self) -> dict:
+        return {
+            "count": len(self.records),
+            "dropped": self.dropped,
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    def __repr__(self) -> str:
+        return f"<FlowRecordExporter {len(self.records)} records>"
+
+
+class NullFlowRecordExporter(FlowRecordExporter):
+    """Disabled exporter: drops everything silently and for free."""
+
+    enabled = False
+
+    def record_removal(self, dpid, table_id, entry, reason, now) -> None:
+        pass
+
+    def flush_datapath(self, datapath, reason: str = "active") -> int:
+        return 0
+
+
+NULL_FLOW_RECORDS = NullFlowRecordExporter()
+
+
+class AppProfiler:
+    """Wall-clock profile of controller event handling, by app.
+
+    Simulated time never advances inside an event handler, so the only
+    meaningful "where does controller time go" measurement is host wall
+    time.  Wall times vary run to run — exporters must keep them out of
+    any output that claims determinism (call counts are deterministic).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        #: (app, event_type) -> [calls, wall_seconds]
+        self._cells = {}
+
+    def record(self, app: str, event: str, wall: float) -> None:
+        cell = self._cells.get((app, event))
+        if cell is None:
+            self._cells[(app, event)] = [1, wall]
+        else:
+            cell[0] += 1
+            cell[1] += wall
+
+    def rows(self) -> List[tuple]:
+        """``(app, event, calls, wall_seconds)`` sorted by wall desc."""
+        return sorted(
+            ((app, event, calls, wall)
+             for (app, event), (calls, wall) in self._cells.items()),
+            key=lambda row: (-row[3], row[0], row[1]),
+        )
+
+    def call_counts(self) -> dict:
+        """Deterministic view: ``{app: {event: calls}}`` sorted."""
+        out: dict = {}
+        for (app, event), (calls, _wall) in sorted(self._cells.items()):
+            out.setdefault(app, {})[event] = calls
+        return out
+
+    def __repr__(self) -> str:
+        return f"<AppProfiler {len(self._cells)} cells>"
+
+
+class NullAppProfiler(AppProfiler):
+    enabled = False
+
+    def record(self, app: str, event: str, wall: float) -> None:
+        pass
+
+
+NULL_PROFILER = NullAppProfiler()

@@ -1,0 +1,270 @@
+"""Metrics registry: Counters, Gauges, and Histograms with labels.
+
+The registry is the passive half of the telemetry plane: components
+create metric families once at construction time and increment children
+on their hot paths.  Two properties keep it honest for a deterministic
+simulator:
+
+* **No side effects on the simulation.**  Metrics never schedule events
+  or draw random numbers, so enabling them cannot perturb a run.
+* **Cheap when disabled.**  A disabled registry hands out a shared
+  :data:`NULL_METRIC` whose mutators are no-ops; components additionally
+  cache an ``enabled`` flag so per-packet paths pay one boolean check.
+
+Snapshots are fully deterministic: families and label sets are emitted
+in sorted order, and values are plain ints/floats.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "NULL_REGISTRY",
+    "NullMetric",
+    "NullRegistry",
+]
+
+#: Default histogram buckets, tuned for simulated latencies (seconds).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0, 5.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus style)."""
+
+    kind = "histogram"
+    __slots__ = ("buckets", "bucket_counts", "count", "sum")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": {
+                repr(bound): cumulative
+                for bound, cumulative in zip(self.buckets, self.bucket_counts)
+            },
+        }
+
+
+class NullMetric:
+    """Shared do-nothing stand-in for every metric kind (and family)."""
+
+    kind = "null"
+    __slots__ = ()
+
+    def labels(self, *_values: str) -> "NullMetric":
+        return self
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def snapshot(self):
+        return None
+
+
+NULL_METRIC = NullMetric()
+
+
+class MetricFamily:
+    """A named metric with a fixed label schema and one child per value
+    combination.  Children are memoised, so hot paths bind them once."""
+
+    __slots__ = ("name", "help", "labelnames", "_ctor", "_ctor_kwargs",
+                 "children")
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: Sequence[str], ctor, **ctor_kwargs) -> None:
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._ctor = ctor
+        self._ctor_kwargs = ctor_kwargs
+        self.children: Dict[Tuple[str, ...], object] = {}
+
+    @property
+    def kind(self) -> str:
+        return self._ctor.kind
+
+    def labels(self, *values) -> object:
+        key = tuple(str(v) for v in values)
+        if len(key) != len(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {key}"
+            )
+        child = self.children.get(key)
+        if child is None:
+            child = self._ctor(**self._ctor_kwargs)
+            self.children[key] = child
+        return child
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "labels": list(self.labelnames),
+            "values": {
+                ",".join(key): child.snapshot()
+                for key, child in sorted(self.children.items())
+            },
+        }
+
+
+class MetricsRegistry:
+    """Holds every metric family; components get-or-create by name."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    # -- family constructors -------------------------------------------
+    def counter(self, name: str, help_text: str = "",
+                labels: Sequence[str] = ()):
+        return self._family(name, help_text, labels, Counter)
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Sequence[str] = ()):
+        return self._family(name, help_text, labels, Gauge)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS):
+        return self._family(name, help_text, labels, Histogram,
+                            buckets=buckets)
+
+    def _family(self, name: str, help_text: str, labels, ctor, **kwargs):
+        family = self._families.get(name)
+        if family is None:
+            family = MetricFamily(name, help_text, labels, ctor, **kwargs)
+            self._families[name] = family
+        elif family.kind != ctor.kind or family.labelnames != tuple(labels):
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind} "
+                f"with labels {family.labelnames}"
+            )
+        # Zero-label families read as a bare metric at the call site.
+        if not family.labelnames:
+            return family.labels()
+        return family
+
+    # -- introspection --------------------------------------------------
+    def family(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def get(self, name: str, *labels):
+        """The current child value, or None — a test/export convenience."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        key = tuple(str(v) for v in labels)
+        child = family.children.get(key)
+        return child.snapshot() if child is not None else None
+
+    def snapshot(self) -> dict:
+        """Every family, sorted by name; values sorted by label key."""
+        return {
+            name: family.snapshot()
+            for name, family in sorted(self._families.items())
+        }
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def __repr__(self) -> str:
+        return f"<MetricsRegistry {len(self._families)} families>"
+
+
+class NullRegistry(MetricsRegistry):
+    """Disabled registry: every constructor returns :data:`NULL_METRIC`."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str, help_text: str = "",
+                labels: Sequence[str] = ()):
+        return NULL_METRIC
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Sequence[str] = ()):
+        return NULL_METRIC
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS):
+        return NULL_METRIC
+
+
+NULL_REGISTRY = NullRegistry()

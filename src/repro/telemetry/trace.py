@@ -1,0 +1,199 @@
+"""Packet-lifecycle tracing: timestamped spans over one frame's journey.
+
+A traced packet carries a ``trace_id`` (a plain int stamped on the
+:class:`~repro.packet.base.Packet` object); every layer it crosses
+appends a :class:`Span` to the tracer — host TX, link transit, table
+lookups, the punt, the control-channel hop, controller dispatch, app
+handlers, and the resulting flow-mods/packet-outs.  Spans are stamped
+with *simulated* time, so a trace is a causal latency breakdown of one
+packet and is bit-identical across runs with the same seed.
+
+Crossing the control channel re-serialises the frame, which strips any
+in-memory attribute.  The tracer bridges that gap with a stash/adopt
+pair: the sender stashes the trace id under a key derived from the wire
+bytes, and the receiver adopts it after decoding.  Channels are ordered
+and lossless, so FIFO adoption per key is exact.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Hashable, List, Optional, Tuple
+
+__all__ = ["Span", "Tracer", "NULL_TRACER", "NullTracer", "STAGES"]
+
+#: Canonical stage names, in life-of-a-packet order.  Rendering sorts
+#: spans by time, but the stage tells you which layer emitted one.
+STAGES = ("host", "link", "dataplane", "channel", "controller", "app")
+
+
+class Span:
+    """One timestamped step of a traced packet's journey."""
+
+    __slots__ = ("trace_id", "name", "stage", "start", "end", "attrs")
+
+    def __init__(self, trace_id: int, name: str, stage: str,
+                 start: float, end: float, attrs: dict) -> None:
+        self.trace_id = trace_id
+        self.name = name
+        self.stage = stage
+        self.start = start
+        self.end = end
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "stage": self.stage,
+            "start": self.start,
+            "end": self.end,
+            "attrs": {k: str(v) for k, v in sorted(self.attrs.items())},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Span #{self.trace_id} {self.name} [{self.stage}] "
+            f"t={self.start:.6f}+{self.duration * 1e6:.1f}us>"
+        )
+
+
+class Tracer:
+    """Collects spans per trace id; bounded and sampled for big runs."""
+
+    enabled = True
+
+    def __init__(self, sample_every: int = 1, max_traces: int = 256,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1: {sample_every}")
+        self.sample_every = sample_every
+        self.max_traces = max_traces
+        self.clock: Callable[[], float] = clock or (lambda: 0.0)
+        self._spans: Dict[int, List[Span]] = {}
+        self._labels: Dict[int, str] = {}
+        self._next_id = 1
+        self._seen = 0
+        self.dropped = 0
+        self._stash: Dict[Hashable, Deque[Tuple[int, float]]] = {}
+
+    # ------------------------------------------------------------------
+    # Trace lifecycle
+    # ------------------------------------------------------------------
+    def start_trace(self, label: str = "") -> Optional[int]:
+        """Begin a trace if the sampler picks this packet; else ``None``."""
+        self._seen += 1
+        if (self._seen - 1) % self.sample_every:
+            return None
+        if len(self._spans) >= self.max_traces:
+            self.dropped += 1
+            return None
+        trace_id = self._next_id
+        self._next_id += 1
+        self._spans[trace_id] = []
+        self._labels[trace_id] = label
+        return trace_id
+
+    def record(self, trace_id: Optional[int], name: str, stage: str,
+               start: Optional[float] = None, end: Optional[float] = None,
+               **attrs) -> None:
+        """Append a span; instantaneous unless ``start``/``end`` differ."""
+        if trace_id is None:
+            return
+        spans = self._spans.get(trace_id)
+        if spans is None:
+            return
+        now = self.clock()
+        if end is None:
+            end = now
+        if start is None:
+            start = end
+        spans.append(Span(trace_id, name, stage, start, end, attrs))
+
+    # ------------------------------------------------------------------
+    # Cross-serialisation context propagation
+    # ------------------------------------------------------------------
+    def stash(self, key: Hashable, trace_id: Optional[int]) -> None:
+        """Park a trace id before its packet is flattened to bytes."""
+        if trace_id is None:
+            return
+        self._stash.setdefault(key, deque()).append(
+            (trace_id, self.clock())
+        )
+
+    def adopt(self, key: Hashable) -> Tuple[Optional[int], float]:
+        """Claim the oldest stashed ``(trace_id, stash_time)`` for ``key``."""
+        queue = self._stash.get(key)
+        if not queue:
+            return None, 0.0
+        entry = queue.popleft()
+        if not queue:
+            del self._stash[key]
+        return entry
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def traces(self) -> List[Tuple[int, str, List[Span]]]:
+        """Every trace as ``(id, label, spans)``, in id order."""
+        return [
+            (tid, self._labels.get(tid, ""), spans)
+            for tid, spans in sorted(self._spans.items())
+        ]
+
+    def spans(self, trace_id: int) -> List[Span]:
+        return list(self._spans.get(trace_id, ()))
+
+    def stages_of(self, trace_id: int) -> List[str]:
+        """Distinct stages the trace crossed, in canonical order."""
+        present = {s.stage for s in self._spans.get(trace_id, ())}
+        return [s for s in STAGES if s in present]
+
+    @property
+    def trace_count(self) -> int:
+        return len(self._spans)
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.trace_count,
+            "dropped": self.dropped,
+            "traces": [
+                {
+                    "id": tid,
+                    "label": label,
+                    "spans": [s.to_dict() for s in spans],
+                }
+                for tid, label, spans in self.traces()
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return f"<Tracer {self.trace_count} traces>"
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: never samples, never stores."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def start_trace(self, label: str = "") -> Optional[int]:
+        return None
+
+    def record(self, trace_id, name, stage, start=None, end=None,
+               **attrs) -> None:
+        pass
+
+    def stash(self, key, trace_id) -> None:
+        pass
+
+    def adopt(self, key):
+        return None, 0.0
+
+
+NULL_TRACER = NullTracer()

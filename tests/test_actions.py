@@ -5,7 +5,6 @@ import pytest
 from repro.dataplane import (
     DecTTL,
     Group,
-    Match,
     Meter,
     Output,
     PopVLAN,

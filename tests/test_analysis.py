@@ -80,7 +80,7 @@ class TestReport:
         lines = text.splitlines()
         assert lines[0] == "Demo"
         assert "name" in lines[2] and "value" in lines[2]
-        assert len({len(l) for l in lines[2:]}) <= 2  # consistent width
+        assert len({len(line) for line in lines[2:]}) <= 2  # same width
 
     def test_row_arity_checked(self):
         table = Table("T", ["a", "b"])

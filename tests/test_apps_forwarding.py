@@ -1,9 +1,8 @@
 """Hub, learning switch, and proactive router app tests."""
 
-import pytest
 
 from repro.apps import HubApp, LearningSwitch
-from repro.controller import Controller, HostTracker, TopologyDiscovery
+from repro.controller import Controller
 from repro.core import ZenPlatform
 from repro.netem import Network, Topology
 
@@ -57,7 +56,7 @@ class TestLearningSwitch:
     def test_flows_installed_cut_controller_out(self):
         platform = reactive(Topology.single(2, bandwidth_bps=1e9))
         h1, h2 = platform.host("h1"), platform.host("h2")
-        first = h1.ping(h2.ip, count=1)
+        h1.ping(h2.ip, count=1)
         platform.run(3.0)
         punts_after_first = platform.switch("s1").packets_to_controller
         again = h1.ping(h2.ip, count=5, interval=0.01)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.apps import Firewall, LoadBalancer, NetworkSlicing
 from repro.core import ZenPlatform
-from repro.dataplane import FlowKey, Match
+from repro.dataplane import FlowKey
 from repro.errors import ControllerError
 from repro.netem import CBRStream, FlowSink, RequestLoad, Topology
 from repro.packet import Ethernet, IPv4, UDP
@@ -78,7 +78,7 @@ class TestFirewall:
 
     def test_default_deny_mode(self):
         platform = make_platform()
-        firewall = platform.add_app(
+        platform.add_app(
             Firewall(table_id=0, next_table=1, default_allow=False)
         )
         platform.start()
@@ -193,8 +193,8 @@ class TestLoadBalancer:
         platform.fail_link("h3", "s1")
         platform.run(0.5)
         h1 = platform.host("h1")
-        load = RequestLoad(platform.sim, [h1], lb.vip,
-                           request_rate=20.0, duration=1.0)
+        RequestLoad(platform.sim, [h1], lb.vip,
+                    request_rate=20.0, duration=1.0)
         platform.run(5.0)
         # h3 was tracked before its death, so some assignments may land
         # there and time out; but h2 must carry real load.

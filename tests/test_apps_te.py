@@ -12,7 +12,7 @@ from repro.apps import (
 )
 from repro.core import ZenPlatform
 from repro.errors import ControllerError
-from repro.netem import CBRStream, FlowSink, Topology
+from repro.netem import Topology
 from repro.packet import IPv4Address
 
 
@@ -179,7 +179,6 @@ class TestTrafficEngineeringApp:
             Demand(h1.ip, h2.ip, 7e6),
             Demand(h2.ip, h1.ip, 7e6),
         ])
-        paths = list(result.paths.values())
         # Both fit without sharing any directed edge pair in a way that
         # exceeds capacity: max utilisation <= 0.7.
         caps_map = {

@@ -1,13 +1,11 @@
 """Distributed baseline tests: spanning tree and link-state routing."""
 
-import pytest
 
 from repro.baselines import (
     BPDU,
     LinkStateNetwork,
     LSMessage,
     SpanningTreeNetwork,
-    StpSwitch,
 )
 from repro.netem import Network, Topology
 from repro.packet import MACAddress, Packet, Ethernet

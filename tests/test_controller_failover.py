@@ -7,7 +7,6 @@ resumes managing.  This exercises channel teardown, handshake-on-
 reconnect, re-discovery, and app state rebuild end to end.
 """
 
-import pytest
 
 from repro.apps import ArpProxy, ProactiveRouter
 from repro.controller import Controller, HostTracker, TopologyDiscovery
@@ -103,7 +102,6 @@ class TestControllerFailover:
 
     def test_no_stale_callbacks_from_dead_controller(self):
         net, primary, router = self.build()
-        rules_before = router.rules_installed
         for channel in net.channels.values():
             channel.disconnect()
         net.run(0.5)

@@ -1,6 +1,5 @@
 """Topology discovery tests over live emulated networks."""
 
-import pytest
 
 from repro.controller import (
     Controller,
@@ -107,8 +106,8 @@ class TestFailureReaction:
         net.channel("s2").disconnect()
         net.run(0.1)
         s2 = 2
-        assert all(s2 not in (l.src_dpid, l.dst_dpid)
-                   for l in discovery.links.values())
+        assert all(s2 not in (link.src_dpid, link.dst_dpid)
+                   for link in discovery.links.values())
 
     def test_stop_halts_probing(self):
         net, controller, discovery = build(Topology.linear(2))

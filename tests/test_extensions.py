@@ -1,12 +1,11 @@
 """Tests for the extension features: multipath routing, protected
 pairs (fast failover), and link taps."""
 
-import pytest
 
 from repro.apps import MultipathRouter, ProtectedPairs
 from repro.core import ZenPlatform
-from repro.netem import CBRStream, FlowSink, Tap, Topology
-from repro.packet import ICMP, IPv4, UDP
+from repro.netem import CBRStream, Tap, Topology
+from repro.packet import ICMP, UDP
 
 
 def diamond_platform(**kw):

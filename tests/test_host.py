@@ -4,15 +4,7 @@ import pytest
 
 from repro.errors import TopologyError
 from repro.netem import Attachment, Host, Link
-from repro.packet import (
-    ARP,
-    Ethernet,
-    ICMP,
-    IPv4,
-    MACAddress,
-    Packet,
-    UDP,
-)
+from repro.packet import ARP, Ethernet, ICMP, IPv4, MACAddress, UDP
 from repro.sim import Simulator
 
 

@@ -2,7 +2,6 @@
 VLAN tagging across a network, TTL decrement chains, keepalives,
 stats kinds through handles, and eviction notifications."""
 
-import pytest
 
 from repro.controller import Controller
 from repro.core import ZenPlatform

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import TopologyError
 from repro.netem import Attachment, Link
-from repro.packet import Ethernet, Packet
+from repro.packet import Ethernet
 from repro.sim import Simulator
 
 

@@ -54,7 +54,7 @@ class TestAtoms:
         ]
 
     def test_bare_filter_drops_nonmatching(self):
-        rules = compile_policy(filter_(l4_dst=80))
+        compile_policy(filter_(l4_dst=80))
         # Pass rules degenerate to drop at top level.
         assert evaluate(filter_(l4_dst=80), key(dport=80)) == []
         assert evaluate(filter_(l4_dst=80), key(dport=443)) == []

@@ -13,7 +13,6 @@ Three families:
 
 from collections import Counter
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.policy import (
@@ -271,7 +270,7 @@ class TestPolicyCompilerSoundness:
     @given(policy=policies())
     def test_compiled_list_always_covers_every_packet(self, policy):
         """Some rule matches every key in the universe (no fall-off)."""
-        compiled = compile_policy(policy)
+        compile_policy(policy)
         probe = (Ethernet(dst="00:00:00:00:00:02",
                           src="00:00:00:00:00:01")
                  / IPv4(src="10.9.9.9", dst="192.168.0.1")

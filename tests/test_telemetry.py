@@ -1,0 +1,394 @@
+"""Telemetry plane tests.
+
+Three layers of coverage:
+
+* unit tests for the primitives (registry, tracer, flow records,
+  profiler) and their null stand-ins;
+* end-to-end wiring: a reactive platform with telemetry on must yield
+  populated metrics, a trace that crosses every stage of the stack, and
+  flow records;
+* the determinism contract — telemetry must never perturb the
+  simulation, and identical seeds must produce identical telemetry.
+"""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import ZenPlatform
+from repro.netem import Topology
+from repro.telemetry import (
+    NULL_METRIC,
+    NULL_TELEMETRY,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+)
+from repro.telemetry.export import best_trace, render_report, to_json
+from repro.telemetry.flowrecords import (
+    AppProfiler,
+    FlowRecordExporter,
+    NullFlowRecordExporter,
+)
+from repro.telemetry.registry import NullRegistry
+from repro.telemetry.trace import STAGES, NullTracer
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_zero_label_counter_reads_as_bare_metric(self):
+        reg = MetricsRegistry()
+        c = reg.counter("events_total", "All events")
+        c.inc()
+        c.inc(3)
+        assert reg.get("events_total") == 4
+
+    def test_counters_only_go_up(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ups_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labelled_family_memoises_children(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("tx_total", "TX", ("link",))
+        a = fam.labels("l1")
+        b = fam.labels("l1")
+        assert a is b
+        a.inc(2)
+        fam.labels("l2").inc(5)
+        assert reg.get("tx_total", "l1") == 2
+        assert reg.get("tx_total", "l2") == 5
+
+    def test_label_arity_checked(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("d_total", "", ("a", "b"))
+        with pytest.raises(ValueError):
+            fam.labels("only-one")
+
+    def test_reregistration_must_agree(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "", ("l",))
+        # Same name, same schema: fine (get-or-create).
+        reg.counter("x_total", "", ("l",))
+        with pytest.raises(ValueError):
+            reg.gauge("x_total", "", ("l",))
+        with pytest.raises(ValueError):
+            reg.counter("x_total", "", ("other",))
+
+    def test_gauge_moves_both_ways(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert reg.get("depth") == 7
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.5, 5.0):
+            h.observe(v)
+        snap = reg.get("lat")
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(5.555)
+        assert snap["buckets"] == {"0.01": 1, "0.1": 2, "1.0": 3}
+
+    def test_snapshot_sorted_and_json_ready(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total").inc()
+        reg.counter("a_total", "", ("l",)).labels("z").inc()
+        snap = reg.snapshot()
+        assert list(snap) == ["a_total", "b_total"]
+        assert snap["a_total"]["values"] == {"z": 1}
+        assert snap["b_total"]["values"] == {"": 1}
+
+    def test_null_registry_is_free_and_silent(self):
+        reg = NullRegistry()
+        assert not reg.enabled
+        c = reg.counter("whatever")
+        assert c is NULL_METRIC
+        c.inc()
+        c.labels("x").observe(3)  # every mutator is a no-op
+        assert reg.snapshot() == {}
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_spans_accumulate_in_order(self):
+        tracer = Tracer()
+        tid = tracer.start_trace("ping")
+        tracer.record(tid, "host.tx", "host", host="h1")
+        tracer.record(tid, "link.transit", "link", start=0.0, end=0.001)
+        spans = tracer.spans(tid)
+        assert [s.name for s in spans] == ["host.tx", "link.transit"]
+        assert spans[1].duration == pytest.approx(0.001)
+        assert tracer.stages_of(tid) == ["host", "link"]
+
+    def test_record_without_trace_is_noop(self):
+        tracer = Tracer()
+        tracer.record(None, "x", "host")
+        tracer.record(999, "x", "host")  # unknown id
+        assert tracer.trace_count == 0
+
+    def test_sampling_keeps_every_nth(self):
+        tracer = Tracer(sample_every=3)
+        picks = [tracer.start_trace(f"p{i}") for i in range(9)]
+        assert [p is not None for p in picks] == [
+            True, False, False, True, False, False, True, False, False,
+        ]
+        assert tracer.trace_count == 3
+
+    def test_max_traces_cap_counts_drops(self):
+        tracer = Tracer(max_traces=2)
+        assert tracer.start_trace() is not None
+        assert tracer.start_trace() is not None
+        assert tracer.start_trace() is None
+        assert tracer.dropped == 1
+
+    def test_stash_adopt_is_fifo_per_key(self):
+        tracer = Tracer(clock=lambda: 42.0)
+        t1, t2 = tracer.start_trace(), tracer.start_trace()
+        tracer.stash(("pi", b"wire"), t1)
+        tracer.stash(("pi", b"wire"), t2)
+        assert tracer.adopt(("pi", b"wire")) == (t1, 42.0)
+        assert tracer.adopt(("pi", b"wire")) == (t2, 42.0)
+        assert tracer.adopt(("pi", b"wire")) == (None, 0.0)
+        assert tracer.adopt(("never", 0)) == (None, 0.0)
+
+    def test_clock_stamps_default_times(self):
+        now = [7.5]
+        tracer = Tracer(clock=lambda: now[0])
+        tid = tracer.start_trace()
+        tracer.record(tid, "x", "host")
+        span = tracer.spans(tid)[0]
+        assert span.start == span.end == 7.5
+
+    def test_null_tracer_never_samples(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        assert tracer.start_trace("x") is None
+        tracer.stash("k", 1)
+        assert tracer.adopt("k") == (None, 0.0)
+        assert tracer.trace_count == 0
+
+
+# ----------------------------------------------------------------------
+# Flow records + profiler
+# ----------------------------------------------------------------------
+class _FakeMatch:
+    def __init__(self, fields):
+        self.fields = fields
+
+
+class _FakeEntry:
+    def __init__(self, fields):
+        self.priority = 10
+        self.cookie = 7
+        self.packet_count = 3
+        self.byte_count = 300
+        self.install_time = 1.0
+        self.match = _FakeMatch(fields)
+
+
+class TestFlowRecords:
+    def test_record_carries_five_tuple_and_counters(self):
+        exporter = FlowRecordExporter()
+        entry = _FakeEntry({"ip_src": "10.0.0.1", "ip_dst": "10.0.0.2",
+                            "ip_proto": 17, "eth_type": 0x800})
+        exporter.record_removal(5, 0, entry, "idle_timeout", now=3.5)
+        assert len(exporter) == 1
+        rec = exporter.records[0]
+        assert rec.five_tuple == "10.0.0.1>10.0.0.2 proto=17 *>*"
+        assert (rec.packets, rec.bytes) == (3, 300)
+        assert rec.duration == pytest.approx(2.5)
+        assert rec.reason == "idle_timeout"
+        assert rec.to_dict()["match"]["eth_type"] == str(0x800)
+
+    def test_cap_drops_excess(self):
+        exporter = FlowRecordExporter(max_records=1)
+        entry = _FakeEntry({})
+        exporter.record_removal(1, 0, entry, "delete", now=1.0)
+        exporter.record_removal(1, 0, entry, "delete", now=1.0)
+        assert len(exporter) == 1
+        assert exporter.dropped == 1
+
+    def test_null_exporter_drops_for_free(self):
+        exporter = NullFlowRecordExporter()
+        exporter.record_removal(1, 0, _FakeEntry({}), "delete", now=1.0)
+        assert len(exporter) == 0
+
+    def test_profiler_counts_are_deterministic_view(self):
+        profiler = AppProfiler()
+        profiler.record("l2", "PacketInEvent", 0.002)
+        profiler.record("l2", "PacketInEvent", 0.001)
+        profiler.record("arp", "PacketInEvent", 0.005)
+        assert profiler.call_counts() == {
+            "arp": {"PacketInEvent": 1},
+            "l2": {"PacketInEvent": 2},
+        }
+        rows = profiler.rows()
+        assert rows[0][0] == "arp"  # most wall time first
+        assert rows[1][2] == 2
+
+
+# ----------------------------------------------------------------------
+# The assembled plane
+# ----------------------------------------------------------------------
+class TestTelemetryObject:
+    def test_enabled_plane_has_live_primitives(self):
+        tel = Telemetry()
+        assert tel.enabled and tel.tracing
+        assert tel.metrics.enabled
+        assert tel.flows.enabled
+        assert tel.profiler.enabled
+
+    def test_disabled_plane_is_all_nulls(self):
+        tel = Telemetry(enabled=False)
+        assert not tel.enabled and not tel.tracing
+        assert not tel.metrics.enabled
+        assert tel.tracer.start_trace("x") is None
+        assert NULL_TELEMETRY.enabled is False
+
+    def test_tracing_can_be_off_while_metrics_stay_on(self):
+        tel = Telemetry(trace=False)
+        assert tel.enabled and not tel.tracing
+        assert tel.metrics.enabled
+
+
+# ----------------------------------------------------------------------
+# End-to-end wiring
+# ----------------------------------------------------------------------
+def _reactive_platform(telemetry=None, seed=0):
+    topo = Topology.linear(3, hosts_per_switch=1, bandwidth_bps=1e9)
+    return ZenPlatform(topo, profile="reactive", seed=seed,
+                       telemetry=telemetry)
+
+
+class TestEndToEnd:
+    def test_trace_crosses_every_stage(self):
+        tel = Telemetry()
+        platform = _reactive_platform(tel).start()
+        assert platform.ping_all(count=1, settle=8.0) == 1.0
+        pick = best_trace(tel.tracer)
+        assert pick is not None
+        _tid, label, spans = pick
+        assert label  # "h1 Ethernet/..." style origin label
+        assert len(spans) >= 5
+        stages = {s.stage for s in spans}
+        # The acceptance bar: host -> dataplane -> controller -> app.
+        assert {"host", "dataplane", "controller", "app"} <= stages
+        # The full wiring also covers the link and channel hops.
+        assert stages == set(STAGES)
+
+    def test_metrics_populated_by_every_layer(self):
+        tel = Telemetry()
+        platform = _reactive_platform(tel).start()
+        platform.ping_all(count=1, settle=8.0)
+        reg = tel.metrics
+        assert reg.get("sim_events_total") > 0
+        dpid = str(platform.switch("s1").dpid)
+        assert reg.get("switch_rx_packets_total", dpid) > 0
+        assert reg.get("switch_packet_ins_total", dpid) > 0
+        assert reg.family("link_tx_packets_total").children
+        assert reg.family("table_lookups_total").children
+        assert reg.family("channel_messages_total").children
+        assert reg.get("controller_packet_ins_total") > 0
+        delay = reg.get("controller_packet_in_delay_seconds")
+        assert delay["count"] > 0
+
+    def test_flow_records_exported(self):
+        tel = Telemetry()
+        platform = _reactive_platform(tel).start()
+        platform.ping_all(count=1, settle=8.0)
+        # The learning switch installs idle-timeout flows; make sure any
+        # still-resident entries are flushed so the export is complete.
+        for dp in platform.net.switches.values():
+            tel.flows.flush_datapath(dp)
+        assert len(tel.flows) >= 1
+        reasons = {r.reason for r in tel.flows.records}
+        assert reasons <= {"idle_timeout", "hard_timeout", "delete",
+                           "eviction", "active"}
+        assert all(r.packets >= 0 and r.duration >= 0
+                   for r in tel.flows.records)
+
+    def test_report_renders_all_sections(self):
+        tel = Telemetry()
+        platform = _reactive_platform(tel).start()
+        platform.ping_all(count=1, settle=8.0)
+        for dp in platform.net.switches.values():
+            tel.flows.flush_datapath(dp)
+        report = render_report(tel)
+        assert "Metrics" in report
+        assert "trace #" in report
+        assert "Flow records" in report
+
+    def test_cli_telemetry_command(self, capsys):
+        assert cli_main(["telemetry", "--size", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Metrics" in out
+        assert "trace #" in out
+        assert "Flow records" in out
+
+    def test_cli_telemetry_json(self, capsys):
+        assert cli_main(["telemetry", "--size", "2",
+                         "--format", "json"]) == 0
+        import json
+
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["enabled"] is True
+        assert doc["traces"]["count"] >= 1
+        assert doc["flow_records"]["count"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Determinism contract
+# ----------------------------------------------------------------------
+def _flow_setup_fingerprint(telemetry):
+    """E1-style flow-setup run reduced to its simulation observables."""
+    platform = _reactive_platform(telemetry, seed=7).start()
+    delivery = platform.ping_all(count=1, settle=8.0)
+    switches = {
+        name: (dp.packets_forwarded, dp.packets_to_controller,
+               dp.packets_dropped, dp.flow_count())
+        for name, dp in sorted(platform.net.switches.items())
+    }
+    return {
+        "delivery": delivery,
+        "events": platform.sim.events_processed,
+        "now": platform.sim.now,
+        "control_messages": platform.total_control_messages(),
+        "control_bytes": platform.total_control_bytes(),
+        "switches": switches,
+    }
+
+
+class TestDeterminism:
+    def test_runs_are_repeatable(self):
+        assert _flow_setup_fingerprint(None) == _flow_setup_fingerprint(None)
+
+    def test_telemetry_never_perturbs_the_simulation(self):
+        """Enabling the full plane must not change a single sim observable.
+
+        This is the overhead/benchmark invariant: telemetry never
+        schedules events and never draws from the kernel RNG, so the E1
+        flow-setup run is bit-identical with it on, off, or explicitly
+        disabled.
+        """
+        baseline = _flow_setup_fingerprint(None)
+        assert _flow_setup_fingerprint(Telemetry(enabled=False)) == baseline
+        assert _flow_setup_fingerprint(Telemetry()) == baseline
+
+    def test_identical_seeds_identical_telemetry_output(self):
+        def run():
+            tel = Telemetry()
+            platform = _reactive_platform(tel, seed=3).start()
+            platform.ping_all(count=1, settle=8.0)
+            for dp in platform.net.switches.values():
+                tel.flows.flush_datapath(dp)
+            return to_json(tel)
+
+        assert run() == run()

@@ -109,9 +109,9 @@ class TestBuilders:
     def test_ring(self):
         topo = Topology.ring(4)
         topo.validate()
-        switch_links = [l for l in topo.links
-                        if topo.nodes[l.a].is_switch
-                        and topo.nodes[l.b].is_switch]
+        switch_links = [link for link in topo.links
+                        if topo.nodes[link.a].is_switch
+                        and topo.nodes[link.b].is_switch]
         assert len(switch_links) == 4  # the cycle
         with pytest.raises(TopologyError):
             Topology.ring(2)
@@ -143,9 +143,9 @@ class TestBuilders:
     def test_mesh(self):
         topo = Topology.mesh(4)
         topo.validate()
-        switch_links = [l for l in topo.links
-                        if topo.nodes[l.a].is_switch
-                        and topo.nodes[l.b].is_switch]
+        switch_links = [link for link in topo.links
+                        if topo.nodes[link.a].is_switch
+                        and topo.nodes[link.b].is_switch]
         assert len(switch_links) == 6  # C(4,2)
 
     def test_waxman_connected_and_deterministic(self):
@@ -153,10 +153,10 @@ class TestBuilders:
         b = Topology.waxman(10, seed=5)
         a.validate()
         assert len(a.links) == len(b.links)
-        assert [(l.a, l.b) for l in a.links] == [
-            (l.a, l.b) for l in b.links
+        assert [(link.a, link.b) for link in a.links] == [
+            (link.a, link.b) for link in b.links
         ]
 
     def test_builders_pass_link_options(self):
         topo = Topology.linear(2, bandwidth_bps=42.0)
-        assert all(l.bandwidth_bps == 42.0 for l in topo.links)
+        assert all(link.bandwidth_bps == 42.0 for link in topo.links)
