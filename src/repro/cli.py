@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands, aimed at kicking the tyres without writing code:
+Five commands, aimed at kicking the tyres without writing code:
 
 * ``demo``      — build a topology, run a platform profile, verify
   all-pairs connectivity, print what the controller learned and what
@@ -9,6 +9,8 @@ Four commands, aimed at kicking the tyres without writing code:
 * ``bench``     — list the experiment suite and how to regenerate it.
 * ``telemetry`` — run a traffic demo with the observability plane on
   and dump metrics, a packet trace, and flow records.
+* ``faults``    — run a demo under scripted fault injection (channel
+  flaps, link flaps, or switch crashes) and report what recovered.
 """
 
 from __future__ import annotations
@@ -39,6 +41,7 @@ _EXPERIMENTS = [
     ("E8", "Figure 4", "intent reconvergence under churn"),
     ("E9", "Table 5", "control-channel overhead by app design"),
     ("E10", "Figure 5", "slice isolation vs a hostile tenant"),
+    ("E11", "Figure 6", "failover under control-channel churn"),
     ("A1", "ablation", "reactive setup cost vs controller latency"),
     ("A2", "ablation", "microflow rules under table pressure (LRU)"),
 ]
@@ -142,6 +145,74 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.faults import FaultSchedule
+
+    topo = build_topology(args.topology, args.size, args.bandwidth)
+    platform = ZenPlatform(topo, profile=args.profile, seed=args.seed,
+                           control_latency=args.control_latency)
+    platform.start()
+    # Warm traffic so the proactive profile has routes to break.
+    hosts = list(platform.net.hosts.values())
+    for a in hosts:
+        for b in hosts:
+            if a is not b:
+                a.add_static_arp(b.ip, b.mac)
+    for i, host in enumerate(hosts):
+        host.send_udp(hosts[(i + 1) % len(hosts)].ip, 7, 7, b"warm")
+    platform.run(1.0)
+    before = platform.ping_all(count=1, settle=8.0)
+    print(f"Pre-fault all-pairs delivery: {before:.0%}")
+
+    net = platform.net
+    switches = sorted(net.switches)
+    target = args.target or switches[0]
+    if target not in net.switches:
+        raise SystemExit(f"unknown switch {target!r}; pick from {switches}")
+    start = net.sim.now + 0.5
+    sched = FaultSchedule(net)
+    if args.kind == "channel":
+        sched.channel_flap(start, target, down_for=args.down_for,
+                           period=args.period, count=args.cycles)
+        what = f"control channel of {target}"
+    elif args.kind == "crash":
+        for k in range(args.cycles):
+            sched.switch_crash(start + k * args.period, target,
+                               restart_after=args.down_for)
+        what = f"agent of {target} (state wiped)"
+    else:  # link
+        neighbours = [n for n in net.topology.neighbours(target)
+                      if n in net.switches]
+        if not neighbours:
+            raise SystemExit(f"{target} has no switch neighbour to cut")
+        peer = sorted(neighbours)[0]
+        sched.link_flap(start, target, peer, down_for=args.down_for,
+                        period=args.period, count=args.cycles)
+        what = f"link {target}-{peer}"
+    print(f"Flapping {what}: {args.cycles} cycle(s), "
+          f"{args.down_for:.2f}s down every {args.period:.2f}s")
+    platform.run(args.cycles * args.period + 2.0)
+
+    table = Table("Injections", ["t", "fault", "target"])
+    for event in sched.log:
+        table.add_row(f"{event.time:.3f}", event.kind, event.target)
+    print()
+    print(table.render())
+    controller = platform.controller
+    channel = net.channel(target)
+    print(f"\nChannel {target}: {channel.disconnects} disconnects, "
+          f"{channel.messages_dropped} messages lost in flight")
+    print(f"Controller: {controller.resyncs} resyncs "
+          f"({controller.resync_reinstalled} flows reinstalled, "
+          f"{controller.resync_deleted} deleted, "
+          f"{controller.resync_pruned} pruned), "
+          f"{controller.resync_failures} resync failures")
+    after = platform.ping_all(count=1, settle=8.0)
+    print(f"Post-recovery all-pairs delivery: {after:.0%} "
+          f"(switches managed: {controller.switch_count})")
+    return 0 if after == 1.0 and before == 1.0 else 1
+
+
 def _cmd_bench(args) -> int:
     table = Table("Experiment suite (see DESIGN.md / EXPERIMENTS.md)",
                   ["id", "artifact", "question"])
@@ -182,6 +253,31 @@ def _parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench", help="list the experiment suite")
     bench.set_defaults(fn=_cmd_bench)
+
+    faults = sub.add_parser(
+        "faults",
+        help="run a demo under scripted fault injection",
+    )
+    faults.add_argument("--topology", default="ring", choices=_BUILDERS)
+    faults.add_argument("--size", type=int, default=4)
+    faults.add_argument("--profile", default="proactive",
+                        choices=("reactive", "proactive"))
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument("--bandwidth", type=float, default=1e9)
+    faults.add_argument("--control-latency", type=float, default=0.001)
+    faults.add_argument("--kind", default="channel",
+                        choices=("channel", "link", "crash"),
+                        help="what to flap: the control channel, a "
+                             "dataplane link, or the whole agent")
+    faults.add_argument("--target", default="",
+                        help="switch to torment (default: first switch)")
+    faults.add_argument("--cycles", type=int, default=2,
+                        help="down/up cycles to inject")
+    faults.add_argument("--period", type=float, default=2.0,
+                        help="seconds between cycle starts")
+    faults.add_argument("--down-for", type=float, default=0.5,
+                        help="seconds down per cycle")
+    faults.set_defaults(fn=_cmd_faults)
 
     tel = sub.add_parser(
         "telemetry",

@@ -34,6 +34,7 @@ from repro.packet import Packet
 from repro.sim import Simulator
 from repro.southbound.channel import ChannelEndpoint, ControlChannel
 from repro.southbound.messages import (
+    BarrierReply,
     BarrierRequest,
     EchoReply,
     EchoRequest,
@@ -52,6 +53,7 @@ from repro.southbound.messages import (
     PacketOut,
     PortDesc,
     PortStatus,
+    StatsKind,
     StatsReply,
     StatsRequest,
 )
@@ -97,6 +99,12 @@ class SwitchHandle:
     ) -> None:
         """Install one flow entry (ZOF FlowMod ADD)."""
         flags = FlowMod.SEND_FLOW_REM if notify_removed else 0
+        self.controller._ledger_record(
+            self.dpid, match=match, actions=actions, priority=priority,
+            table_id=table_id, idle_timeout=idle_timeout,
+            hard_timeout=hard_timeout, cookie=cookie,
+            goto_table=goto_table, notify_removed=notify_removed,
+        )
         ctx = self.controller._trace_ctx
         if ctx is not None:
             self.controller.telemetry.tracer.record(
@@ -126,6 +134,13 @@ class SwitchHandle:
     ) -> None:
         command = (FlowModCommand.DELETE_STRICT if strict
                    else FlowModCommand.DELETE)
+        self.controller._ledger_forget(
+            self.dpid,
+            match=match if match is not None else Match(),
+            table_id=table_id,
+            priority=priority if priority is not None else 0,
+            strict=strict,
+        )
         self.send(FlowMod(
             command=command,
             table_id=table_id,
@@ -148,16 +163,30 @@ class SwitchHandle:
         self.send(PacketOut(in_port, actions, data))
 
     def barrier(self, callback: Optional[Callable[[], None]] = None) -> None:
-        """Request a barrier; ``callback`` fires when the reply lands."""
+        """Request a barrier; ``callback`` fires when the reply lands.
+
+        The callback does *not* fire if the channel drops while the
+        barrier is outstanding (the synthetic Error is swallowed) — a
+        barrier certifies completed processing, which a dead channel
+        cannot.
+        """
         if callback is None:
             self.send(BarrierRequest())
             return
-        self.endpoint.request(BarrierRequest(), lambda _msg: callback())
+        self.endpoint.request(
+            BarrierRequest(),
+            lambda msg: callback() if isinstance(msg, BarrierReply) else None,
+        )
 
     def request_stats(self, kind: int,
                       callback: Callable[[StatsReply], None],
-                      table_id: int = 0xFF) -> None:
-        self.endpoint.request(StatsRequest(kind, table_id), callback)
+                      table_id: int = 0xFF,
+                      timeout: float = 0.0, retries: int = 0,
+                      on_failure: Optional[Callable[[Message], None]] = None,
+                      ) -> None:
+        self.endpoint.request(StatsRequest(kind, table_id), callback,
+                              timeout=timeout, retries=retries,
+                              on_failure=on_failure)
 
     def add_group(self, group_id: int, group_type: str,
                   buckets: List[Bucket]) -> None:
@@ -263,12 +292,29 @@ class Controller:
         self.apps: List[App] = []
         self._subscribers: Dict[Type[Event], List[Tuple[Callable, str]]] = {}
         self._endpoint_switch: Dict[ChannelEndpoint, SwitchHandle] = {}
+        #: Intended flow state per dpid, keyed (table_id, priority, match)
+        #: — the source of truth the resync reconciles the switch against.
+        self._ledger: Dict[int, Dict[Tuple[int, int, Match], dict]] = {}
+        #: Switches that dropped their channel; remembered (not forgotten)
+        #: so the reconnect handshake can reconcile rather than rebuild.
+        self._stale: Dict[int, SwitchHandle] = {}
+        #: Handshake/resync robustness knobs (seconds / attempt counts).
+        self.handshake_timeout = 0.5
+        self.handshake_retries = 2
+        self.resync_timeout = 1.0
+        self.resync_retries = 1
         #: When the controller CPU frees up (single-server queue model).
         self._cpu_free_at = 0.0
         # Counters for E3/E9.
         self.packet_ins_handled = 0
         self.packet_in_delays: List[float] = []
         self.events_published = 0
+        # Counters for E11 / fault recovery.
+        self.resyncs = 0
+        self.resync_reinstalled = 0
+        self.resync_deleted = 0
+        self.resync_pruned = 0
+        self.resync_failures = 0
         # Default to the kernel's plane so Controller(sim) just works.
         tel = ensure(telemetry if telemetry is not None
                      else getattr(sim, "telemetry", None))
@@ -286,8 +332,22 @@ class Controller:
                 "controller_packet_in_delay_seconds",
                 "Queueing delay between packet-in arrival and dispatch",
             )
+            self._m_resyncs = tel.metrics.counter(
+                "controller_resyncs_total",
+                "Flow-table resyncs completed after a reconnect",
+            )
+            self._m_resync_flows = tel.metrics.counter(
+                "controller_resync_flows_total",
+                "Flow entries touched by resyncs",
+                ("action",),
+            )
+            self._g_stale = tel.metrics.gauge(
+                "controller_stale_switches",
+                "Switches currently disconnected but remembered",
+            )
         else:
             self._m_packet_ins = self._m_pi_delay = None
+            self._m_resyncs = self._m_resync_flows = self._g_stale = None
 
     # ------------------------------------------------------------------
     # Event bus
@@ -359,6 +419,13 @@ class Controller:
             return
         handle.connected = False
         self.switches.pop(handle.dpid, None)
+        # Graceful degradation: remember the switch instead of forgetting
+        # it.  SwitchLeave still fires so discovery tears its links down
+        # and routing apps re-path around it; the retained handle's port
+        # map seeds the reconciliation when the dpid comes back.
+        self._stale[handle.dpid] = handle
+        if self._g_stale is not None:
+            self._g_stale.set(len(self._stale))
         self.publish(SwitchLeave(handle.dpid))
 
     # ------------------------------------------------------------------
@@ -367,7 +434,9 @@ class Controller:
     def _handle(self, endpoint: ChannelEndpoint, msg: Message) -> None:
         if isinstance(msg, Hello):
             endpoint.request(FeaturesRequest(),
-                             lambda reply: self._on_features(endpoint, reply))
+                             lambda reply: self._on_features(endpoint, reply),
+                             timeout=self.handshake_timeout,
+                             retries=self.handshake_retries)
             return
         if isinstance(msg, EchoRequest):
             reply = EchoReply(msg.data)
@@ -380,6 +449,11 @@ class Controller:
         if isinstance(msg, PacketIn):
             self._enqueue_packet_in(handle, msg)
         elif isinstance(msg, FlowRemoved):
+            # The switch no longer holds this entry: drop the intent too,
+            # or the next resync would resurrect an expired flow.
+            flows = self._ledger.get(handle.dpid)
+            if flows is not None:
+                flows.pop((msg.table_id, msg.priority, msg.match), None)
             self.publish(FlowRemovedEvent(
                 handle, msg.table_id, msg.match, msg.priority, msg.cookie,
                 msg.reason, msg.duration, msg.packet_count, msg.byte_count,
@@ -395,11 +469,122 @@ class Controller:
     def _on_features(self, endpoint: ChannelEndpoint,
                      reply: Message) -> None:
         if not isinstance(reply, FeaturesReply):
-            return
+            return  # handshake failed (channel down / retries exhausted)
         handle = SwitchHandle(self, endpoint, reply)
+        stale = self._stale.pop(handle.dpid, None)
+        if self._g_stale is not None:
+            self._g_stale.set(len(self._stale))
         self.switches[handle.dpid] = handle
         self._endpoint_switch[endpoint] = handle
         self.publish(SwitchEnter(handle))
+        if stale is not None:
+            self._reconcile_ports(handle, stale)
+            self._start_resync(handle)
+
+    # ------------------------------------------------------------------
+    # Reconnect reconciliation (PROTOCOL.md §9)
+    # ------------------------------------------------------------------
+    def _reconcile_ports(self, handle: SwitchHandle,
+                         stale: SwitchHandle) -> None:
+        """Publish PortStatus deltas accumulated while the dpid was away.
+
+        A port that died during the outage produced no PortStatus on the
+        (dead) channel; the fresh FeaturesReply is the first truth we see.
+        Publishing the diff lets discovery kill the adjacency immediately
+        instead of waiting out its link timeout.
+        """
+        for number, port in handle.ports.items():
+            old = stale.ports.get(number)
+            if old is None or old.up != port.up:
+                self.publish(PortStatusEvent(handle, number, port.up))
+        for number in stale.ports:
+            if number not in handle.ports:
+                self.publish(PortStatusEvent(handle, number, False))
+
+    def _start_resync(self, handle: SwitchHandle) -> None:
+        """Reconcile the switch's flow tables against the intent ledger."""
+        handle.request_stats(
+            StatsKind.FLOW,
+            lambda reply: self._on_resync_stats(handle, reply),
+            timeout=self.resync_timeout,
+            retries=self.resync_retries,
+            on_failure=lambda _err: self._on_resync_failed(handle),
+        )
+
+    def _on_resync_failed(self, handle: SwitchHandle) -> None:
+        self.resync_failures += 1
+        # The channel died again mid-resync; the next reconnect restarts
+        # the reconciliation from scratch, so nothing else to do here.
+
+    def _on_resync_stats(self, handle: SwitchHandle,
+                         reply: StatsReply) -> None:
+        if not isinstance(reply, StatsReply):
+            return
+        intended = self._ledger.get(handle.dpid, {})
+        actual = {(e.table_id, e.priority, e.match) for e in reply.entries}
+        reinstalled = deleted = 0
+        for key in list(intended):
+            if key in actual:
+                continue
+            spec = intended[key]
+            if spec["idle_timeout"] or spec["hard_timeout"]:
+                # The switch legitimately expired it while we were away;
+                # resurrect the intent and we would pin a dead flow.
+                del intended[key]
+                self.resync_pruned += 1
+                continue
+            handle.add_flow(**spec)
+            reinstalled += 1
+        for table_id, priority, match in actual - set(intended):
+            handle.delete_flows(match=match, table_id=table_id,
+                                priority=priority, strict=True)
+            deleted += 1
+        self.resyncs += 1
+        self.resync_reinstalled += reinstalled
+        self.resync_deleted += deleted
+        if self._m_resyncs is not None:
+            self._m_resyncs.inc()
+            self._m_resync_flows.labels("reinstalled").inc(reinstalled)
+            self._m_resync_flows.labels("deleted").inc(deleted)
+
+    # ------------------------------------------------------------------
+    # Intent ledger
+    # ------------------------------------------------------------------
+    def _ledger_record(self, dpid: int, match: Match, actions: List[Action],
+                       priority: int, table_id: int, idle_timeout: float,
+                       hard_timeout: float, cookie: int,
+                       goto_table: Optional[int],
+                       notify_removed: bool) -> None:
+        self._ledger.setdefault(dpid, {})[(table_id, priority, match)] = {
+            "match": match,
+            "actions": list(actions),
+            "priority": priority,
+            "table_id": table_id,
+            "idle_timeout": idle_timeout,
+            "hard_timeout": hard_timeout,
+            "cookie": cookie,
+            "goto_table": goto_table,
+            "notify_removed": notify_removed,
+        }
+
+    def _ledger_forget(self, dpid: int, match: Match, table_id: int,
+                       priority: int, strict: bool) -> None:
+        flows = self._ledger.get(dpid)
+        if not flows:
+            return
+        if strict:
+            flows.pop((table_id, priority, match), None)
+            return
+        # Non-strict mirrors FlowTable.delete: every entry in the table
+        # whose match is a subset of the given pattern goes.
+        doomed = [key for key in flows
+                  if key[0] == table_id and key[2].is_subset_of(match)]
+        for key in doomed:
+            del flows[key]
+
+    def intended_flows(self, dpid: int) -> int:
+        """Number of ledger entries for ``dpid`` (introspection/tests)."""
+        return len(self._ledger.get(dpid, ()))
 
     # -- packet-in compute model ---------------------------------------
     def _enqueue_packet_in(self, handle: SwitchHandle,

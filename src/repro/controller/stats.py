@@ -43,9 +43,14 @@ class StatsPoller(App):
 
     name = "stats"
 
-    def __init__(self, interval: float = 1.0) -> None:
+    def __init__(self, interval: float = 1.0,
+                 request_timeout: float = 0.0) -> None:
         super().__init__()
         self.interval = interval
+        #: With a timeout set, a lost poll fails fast instead of leaking
+        #: a pending request; either way the next tick repolls.
+        self.request_timeout = request_timeout
+        self.poll_failures = 0
         #: (dpid, port) -> (time, rx_bytes, tx_bytes, rx_pkts, tx_pkts)
         self._last_sample: Dict[Tuple[int, int], Tuple] = {}
         #: (dpid, port) -> latest PortRate
@@ -82,10 +87,17 @@ class StatsPoller(App):
             switch.request_stats(
                 StatsKind.PORT,
                 lambda reply, s=switch: self._on_reply(s, reply),
+                timeout=self.request_timeout,
+                on_failure=lambda _err: self._on_poll_failed(),
             )
 
+    def _on_poll_failed(self) -> None:
+        # Channel down or timed out; the periodic tick repolls, so the
+        # failure only needs counting, not retrying.
+        self.poll_failures += 1
+
     def _on_reply(self, switch: SwitchHandle, reply: StatsReply) -> None:
-        if reply.kind != StatsKind.PORT:
+        if not isinstance(reply, StatsReply) or reply.kind != StatsKind.PORT:
             return
         now = self.sim.now
         last_reply = self._last_reply.get(switch.dpid)

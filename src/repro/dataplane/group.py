@@ -150,6 +150,11 @@ class GroupTable:
     def delete(self, group_id: int) -> Optional[GroupEntry]:
         return self._groups.pop(group_id, None)
 
+    def clear(self) -> int:
+        count = len(self._groups)
+        self._groups.clear()
+        return count
+
     def get(self, group_id: int) -> GroupEntry:
         entry = self._groups.get(group_id)
         if entry is None:

@@ -106,6 +106,11 @@ class MeterTable:
     def delete(self, meter_id: int) -> Optional[MeterEntry]:
         return self._meters.pop(meter_id, None)
 
+    def clear(self) -> int:
+        count = len(self._meters)
+        self._meters.clear()
+        return count
+
     def get(self, meter_id: int) -> MeterEntry:
         entry = self._meters.get(meter_id)
         if entry is None:

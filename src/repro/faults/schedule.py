@@ -1,0 +1,186 @@
+"""Scripted fault injection driven by the simulation kernel.
+
+A :class:`FaultSchedule` wraps a :class:`~repro.netem.network.Network`
+and arms failures at absolute simulated times.  Every injection is an
+ordinary kernel event, so fault scenarios replay bit-identically under a
+fixed seed — the property benchmark E11 leans on to sweep flap
+frequencies and compare runs.
+
+The schedule injects; it never repairs state itself.  Recovery is the
+platform's job: the controller resyncs flow tables on reconnect, the
+channel fails pending requests explicitly, routing apps re-path around
+a stale dpid.  What the schedule *does* keep is an execution log
+(:class:`FaultEvent` per injection) and fault/recovery telemetry.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import TopologyError
+from repro.netem.network import Network
+
+__all__ = ["FaultEvent", "FaultSchedule"]
+
+
+class FaultEvent:
+    """One executed injection: what, when, to whom."""
+
+    __slots__ = ("time", "kind", "target")
+
+    def __init__(self, time: float, kind: str, target: str) -> None:
+        self.time = time
+        self.kind = kind
+        self.target = target
+
+    def __repr__(self) -> str:
+        return f"<FaultEvent t={self.time:.3f} {self.kind} {self.target}>"
+
+
+class FaultSchedule:
+    """Scripts failures against a network at simulated times.
+
+    All ``at``/``start`` times are *absolute* simulated seconds (matching
+    ``sim.schedule_at``), so a schedule composed before ``run()`` reads
+    like a timeline.  Methods return ``self`` for chaining::
+
+        FaultSchedule(net) \
+            .link_flap(5.0, "s1", "s2", down_for=0.5, period=2.0, count=3) \
+            .channel_flap(5.0, "s3", down_for=0.4, period=1.0, count=2) \
+            .switch_crash(8.0, "s4", restart_after=1.0)
+
+    Injections are armed immediately (kernel events); the ``log`` fills
+    in as they fire.
+    """
+
+    def __init__(self, net: Network, telemetry=None) -> None:
+        self.net = net
+        self.sim = net.sim
+        self.log: List[FaultEvent] = []
+        self.injected = 0
+        tel = telemetry if telemetry is not None else net.telemetry
+        self._tracer = None
+        self._m_faults = None
+        if tel is not None and tel.enabled:
+            self._m_faults = tel.metrics.counter(
+                "faults_injected_total", "Scripted fault injections",
+                ("kind",),
+            )
+            if tel.tracing:
+                self._tracer = tel.tracer
+
+    # ------------------------------------------------------------------
+    # Link faults
+    # ------------------------------------------------------------------
+    def link_down(self, at: float, a: str, b: str) -> "FaultSchedule":
+        """Cut the a--b link at time ``at``."""
+        self.net.link(a, b)  # validate now, not at fire time
+        self._arm(at, "link_down", f"{a}-{b}",
+                  lambda: self.net.fail_link(a, b))
+        return self
+
+    def link_up(self, at: float, a: str, b: str) -> "FaultSchedule":
+        """Restore the a--b link at time ``at``."""
+        self.net.link(a, b)
+        self._arm(at, "link_up", f"{a}-{b}",
+                  lambda: self.net.recover_link(a, b))
+        return self
+
+    def link_flap(self, start: float, a: str, b: str, down_for: float,
+                  period: float, count: int = 1) -> "FaultSchedule":
+        """``count`` down/up cycles: down at ``start + k*period`` for
+        ``down_for`` seconds each."""
+        self._check_flap(down_for, period, count)
+        for k in range(count):
+            t = start + k * period
+            self.link_down(t, a, b)
+            self.link_up(t + down_for, a, b)
+        return self
+
+    # ------------------------------------------------------------------
+    # Control-channel faults
+    # ------------------------------------------------------------------
+    def channel_down(self, at: float, switch: str) -> "FaultSchedule":
+        """Drop the control channel of ``switch`` at time ``at``."""
+        channel = self.net.channel(switch)
+        self._arm(at, "channel_down", switch, channel.disconnect)
+        return self
+
+    def channel_up(self, at: float, switch: str) -> "FaultSchedule":
+        """Reconnect the control channel of ``switch`` at time ``at``."""
+        channel = self.net.channel(switch)
+        self._arm(at, "channel_up", switch, channel.connect)
+        return self
+
+    def channel_flap(self, start: float, switch: str, down_for: float,
+                     period: float, count: int = 1) -> "FaultSchedule":
+        """``count`` disconnect/reconnect cycles on one control channel."""
+        self._check_flap(down_for, period, count)
+        for k in range(count):
+            t = start + k * period
+            self.channel_down(t, switch)
+            self.channel_up(t + down_for, switch)
+        return self
+
+    # ------------------------------------------------------------------
+    # Switch-agent faults
+    # ------------------------------------------------------------------
+    def switch_crash(self, at: float, switch: str,
+                     restart_after: Optional[float] = None,
+                     wipe_state: bool = True) -> "FaultSchedule":
+        """Crash the ZOF agent of ``switch`` (reboot semantics by
+        default); optionally restart it ``restart_after`` seconds later.
+        """
+        agent = self.net.agent(switch)
+        self._arm(at, "switch_crash", switch,
+                  lambda: agent.crash(wipe_state=wipe_state))
+        if restart_after is not None:
+            self.switch_restart(at + restart_after, switch)
+        return self
+
+    def switch_restart(self, at: float, switch: str) -> "FaultSchedule":
+        """Bring a crashed agent back: reconnect and re-handshake."""
+        agent = self.net.agent(switch)
+        self._arm(at, "switch_restart", switch, agent.restart)
+        return self
+
+    # ------------------------------------------------------------------
+    # Machinery
+    # ------------------------------------------------------------------
+    def _check_flap(self, down_for: float, period: float,
+                    count: int) -> None:
+        if down_for <= 0:
+            raise TopologyError(f"down_for must be positive: {down_for}")
+        if period <= down_for:
+            raise TopologyError(
+                f"period ({period}) must exceed down_for ({down_for})"
+            )
+        if count < 1:
+            raise TopologyError(f"count must be >= 1: {count}")
+
+    def _arm(self, at: float, kind: str, target: str, action) -> None:
+        if at < self.sim.now:
+            raise TopologyError(
+                f"cannot schedule {kind} at {at}; now is {self.sim.now}"
+            )
+        self.sim.schedule_at(at, self._fire, kind, target, action)
+
+    def _fire(self, kind: str, target: str, action) -> None:
+        self.log.append(FaultEvent(self.sim.now, kind, target))
+        self.injected += 1
+        if self._m_faults is not None:
+            self._m_faults.labels(kind).inc()
+        if self._tracer is not None:
+            tid = self._tracer.start_trace(f"fault:{kind}")
+            self._tracer.record(tid, f"fault.{kind}", "fault",
+                                target=target)
+        action()
+
+    def events(self, kind: Optional[str] = None) -> List[FaultEvent]:
+        """Executed injections so far, optionally filtered by kind."""
+        if kind is None:
+            return list(self.log)
+        return [e for e in self.log if e.kind == kind]
+
+    def __repr__(self) -> str:
+        return f"<FaultSchedule {self.injected} injected>"

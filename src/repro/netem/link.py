@@ -78,6 +78,8 @@ class _Direction:
         "_transmitting",
         "band_tx_packets",
         "band_dropped",
+        "epoch",
+        "dropped_cut",
         "name",
         "_tracer",
         "_m_tx_pkts",
@@ -118,6 +120,10 @@ class _Direction:
         self._transmitting = False
         self.band_tx_packets = [0] * priority_bands
         self.band_dropped = [0] * priority_bands
+        #: Bumped when the link is cut, so packets already in flight are
+        #: dropped on arrival instead of crossing a dead wire.
+        self.epoch = 0
+        self.dropped_cut = 0
 
     def attach_telemetry(self, telemetry, name: str) -> None:
         """Bind metric children and the tracer; no-op when disabled."""
@@ -185,12 +191,17 @@ class _Direction:
         if self._tracer is not None and packet.trace_id is not None:
             self._tracer.record(packet.trace_id, "link.transit", "link",
                                 start=now, end=arrival, link=self.name)
-        self.sim.schedule_at(arrival, self._arrive, packet)
+        self.sim.schedule_at(arrival, self._arrive, packet, self.epoch)
 
     def _dequeue(self) -> None:
         self.queued -= 1
 
-    def _arrive(self, packet: Packet) -> None:
+    def _arrive(self, packet: Packet, epoch: int = 0) -> None:
+        if epoch != self.epoch:
+            # The link was cut while this packet was on the wire.
+            self.dropped_cut += 1
+            self._drop(packet, "cut")
+            return
         if self.dst is not None:
             self.dst.deliver(packet)
 
@@ -243,7 +254,8 @@ class _Direction:
                     start=now, end=now + tx_time + self.delay,
                     link=self.name, band=band,
                 )
-            self.sim.schedule(tx_time + self.delay, self._arrive, packet)
+            self.sim.schedule(tx_time + self.delay, self._arrive, packet,
+                              self.epoch)
         self.sim.schedule(tx_time, self._transmit_next)
 
     def utilisation_since_reset(self) -> float:
@@ -346,6 +358,10 @@ class Link:
     def fail(self) -> None:
         """Cut the link: everything in flight and future is lost."""
         self.up = False
+        # Invalidate in-flight arrivals; "everything in flight is lost"
+        # must hold even if the link recovers before they land.
+        self._ab.epoch += 1
+        self._ba.epoch += 1
 
     def recover(self) -> None:
         self.up = True
@@ -368,6 +384,7 @@ class Link:
                 "tx_bytes": d.tx_bytes,
                 "dropped_queue": d.dropped_queue,
                 "dropped_loss": d.dropped_loss,
+                "dropped_cut": d.dropped_cut,
                 "utilisation": d.utilisation_since_reset(),
                 "band_tx_packets": list(d.band_tx_packets),
                 "band_dropped": list(d.band_dropped),

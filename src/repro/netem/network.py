@@ -216,6 +216,12 @@ class Network:
             raise TopologyError(f"switch {switch_name} has no channel")
         return self._channels[switch_name]
 
+    def agent(self, switch_name: str) -> SwitchAgent:
+        """The ZOF agent created by :meth:`make_channel` for a switch."""
+        if switch_name not in self._agents:
+            raise TopologyError(f"switch {switch_name} has no agent")
+        return self._agents[switch_name]
+
     @property
     def channels(self) -> Dict[str, ControlChannel]:
         return dict(self._channels)

@@ -36,20 +36,31 @@ class ReliableReceiver:
     In-order segments are appended to the transfer buffer; anything out
     of order is dropped and re-ACKed (pure go-back-N).  When the last
     segment lands, ``on_complete(transfer_id, data)`` fires.
+
+    Finished transfers are pruned ``reack_grace`` seconds after
+    completion (a TIME_WAIT analogue): within the grace window straggler
+    duplicates are still re-ACKed with the final cumulative ACK; after
+    it, all per-transfer state — ``_next_expected`` and ``completed`` —
+    is dropped, so a long-lived receiver serving many transfers stays
+    bounded.  Read results from ``on_complete``, not ``completed``, if
+    the run outlives the grace window.
     """
 
     def __init__(self, host: Host, port: int,
                  on_complete: Optional[
-                     Callable[[int, bytes], None]] = None) -> None:
+                     Callable[[int, bytes], None]] = None,
+                 reack_grace: float = 2.0) -> None:
         self.host = host
         self.port = port
         self.on_complete = on_complete
+        self.reack_grace = reack_grace
         #: transfer id -> next expected sequence number.
         self._next_expected: Dict[int, int] = {}
         self._buffers: Dict[int, bytearray] = {}
         self.completed: Dict[int, bytes] = {}
         self.segments_received = 0
         self.segments_discarded = 0
+        self.transfers_pruned = 0
         host.bind_udp(port, self._receive)
 
     def _receive(self, packet: Packet, host: Host) -> None:
@@ -58,7 +69,15 @@ class ReliableReceiver:
             return
         xfer, seq, total = _DATA_HEADER.unpack_from(payload)
         body = payload[_DATA_HEADER.size:]
-        expected = self._next_expected.setdefault(xfer, 0)
+        expected = self._next_expected.get(xfer)
+        if expected is None and seq != 0:
+            # A straggler for a pruned (or never-started) transfer must
+            # not create state, or churn would regrow what pruning frees.
+            self.segments_discarded += 1
+            self._ack(packet, host, xfer, 0)
+            return
+        if expected is None:
+            expected = 0
         if seq == expected and xfer not in self.completed:
             self.segments_received += 1
             self._buffers.setdefault(xfer, bytearray()).extend(body)
@@ -69,13 +88,29 @@ class ReliableReceiver:
                 self.completed[xfer] = data
                 if self.on_complete is not None:
                     self.on_complete(xfer, data)
+                self.host.sim.schedule(self.reack_grace, self._prune, xfer)
         else:
             self.segments_discarded += 1
+            self._next_expected[xfer] = expected
         # Cumulative ACK either way (also re-ACKs duplicates).
+        self._ack(packet, host, xfer, self._next_expected[xfer])
+
+    def _ack(self, packet: Packet, host: Host, xfer: int,
+             next_expected: int) -> None:
         udp = packet[UDP]
         ip = packet[IPv4]
         host.send_udp(ip.src, self.port, udp.src_port,
-                      _ACK_HEADER.pack(xfer, self._next_expected[xfer]))
+                      _ACK_HEADER.pack(xfer, next_expected))
+
+    def _prune(self, xfer: int) -> None:
+        if self.completed.pop(xfer, None) is not None:
+            self._next_expected.pop(xfer, None)
+            self.transfers_pruned += 1
+
+    @property
+    def tracked_transfers(self) -> int:
+        """Transfers the receiver currently holds state for."""
+        return len(self._next_expected)
 
     def close(self) -> None:
         self.host.unbind_udp(self.port)

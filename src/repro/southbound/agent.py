@@ -87,6 +87,29 @@ class SwitchAgent:
     def _on_connect(self) -> None:
         self.endpoint.send(Hello())
 
+    def crash(self, wipe_state: bool = True) -> None:
+        """Simulate the agent process dying (switch reboot).
+
+        The control channel drops and, with ``wipe_state`` (the default),
+        all programmed state — flow tables, groups, meters — is lost,
+        like a hardware reboot.  ``wipe_state=False`` models only the
+        agent process dying while the ASIC keeps forwarding on its
+        installed rules (the ovs-vswitchd-crash case).
+        """
+        if self.channel.connected:
+            self.channel.disconnect()
+        self.peer_version = None
+        self._apply_cursor = 0.0
+        if wipe_state:
+            for table in self.datapath.tables:
+                table.clear()
+            self.datapath.groups.clear()
+            self.datapath.meters.clear()
+
+    def restart(self) -> None:
+        """Bring the agent back up: reconnect and re-handshake."""
+        self.channel.connect()
+
     # ------------------------------------------------------------------
     # Datapath events -> ZOF messages
     # ------------------------------------------------------------------

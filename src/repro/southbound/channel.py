@@ -5,6 +5,15 @@ the receiving one, so codec bugs surface in integration tests and the
 byte counts reported for benchmark E9 are real.  The channel models
 propagation latency, optional serialisation bandwidth, and in-order
 delivery (ZOF, like OpenFlow, assumes a TCP-like transport).
+
+Failure semantics (see PROTOCOL.md §9): each ``connect()`` starts a new
+*connection epoch*.  Deliveries are stamped with the epoch they were sent
+in and dropped on arrival if the channel has since disconnected — even if
+it reconnected in the meantime — so "in-flight messages are lost" holds
+across arbitrarily fast flaps.  Pending xid-correlated requests are
+failed explicitly on disconnect, and :meth:`ChannelEndpoint.request`
+supports timeout/retry with exponential backoff for callers that must
+survive a lossy control plane.
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ from typing import Callable, Dict, Optional
 from repro.errors import ChannelClosedError
 from repro.sim import Simulator
 from repro.southbound.messages import (
+    Error,
     Message,
     REPLY_TYPES,
     decode_message,
@@ -55,12 +65,37 @@ class ChannelStats:
         return f"<ChannelStats {self.messages} msgs, {self.bytes} B>"
 
 
+class _PendingRequest:
+    """Book-keeping for one outstanding xid-correlated request."""
+
+    __slots__ = ("msg", "callback", "on_failure", "timeout", "retries_left",
+                 "backoff", "timer")
+
+    def __init__(self, msg: Message, callback: Callable[[Message], None],
+                 on_failure: Optional[Callable[[Message], None]],
+                 timeout: float, retries: int, backoff: float) -> None:
+        self.msg = msg
+        self.callback = callback
+        self.on_failure = on_failure
+        self.timeout = timeout
+        self.retries_left = retries
+        self.backoff = backoff
+        self.timer = None
+
+    def cancel_timer(self) -> None:
+        if self.timer is not None:
+            self.timer.cancel()
+            self.timer = None
+
+
 class ChannelEndpoint:
     """One side of a control channel.
 
     ``handler`` receives every inbound message.  :meth:`request` provides
     xid-correlated request/reply: the callback fires instead of the
-    handler when the reply arrives.
+    handler when the reply arrives.  Requests can opt into a timeout with
+    exponential-backoff retries; requests outstanding at disconnect are
+    failed explicitly (never silently dropped) so callers can retry.
     """
 
     def __init__(self, channel: "ControlChannel", name: str) -> None:
@@ -72,7 +107,10 @@ class ChannelEndpoint:
         self.sent = ChannelStats()
         self.received = ChannelStats()
         self._next_xid = 1
-        self._pending: Dict[int, Callable[[Message], None]] = {}
+        self._pending: Dict[int, _PendingRequest] = {}
+        #: Requests failed (disconnect or retries exhausted) and resends.
+        self.requests_failed = 0
+        self.request_retries = 0
         self.peer: "ChannelEndpoint" = None  # set by the channel
         # Telemetry children; bound by ControlChannel when enabled.
         self._m_msgs = None
@@ -96,12 +134,66 @@ class ChannelEndpoint:
         self._channel._deliver(self, wire)
         return msg.xid
 
-    def request(self, msg: Message,
-                callback: Callable[[Message], None]) -> int:
-        """Send ``msg`` and route the same-xid reply to ``callback``."""
+    def request(
+        self,
+        msg: Message,
+        callback: Callable[[Message], None],
+        timeout: float = 0.0,
+        retries: int = 0,
+        backoff: float = 2.0,
+        on_failure: Optional[Callable[[Message], None]] = None,
+    ) -> int:
+        """Send ``msg`` and route the same-xid reply to ``callback``.
+
+        With ``timeout > 0`` the request is resent up to ``retries``
+        times, each wait ``backoff`` times longer than the last.  When
+        the retries are exhausted, or the channel disconnects while the
+        request is outstanding, ``on_failure`` receives a synthetic
+        :class:`Error` (``TIMEOUT`` or ``CHANNEL_DOWN``); without an
+        ``on_failure``, ``callback`` receives that Error instead, so a
+        request is never silently dropped either way.
+        """
         xid = self.send(msg)
-        self._pending[xid] = callback
+        pending = _PendingRequest(msg, callback, on_failure,
+                                  timeout, retries, backoff)
+        self._pending[xid] = pending
+        if timeout > 0:
+            pending.timer = self._channel.sim.schedule(
+                timeout, self._on_request_timeout, xid
+            )
         return xid
+
+    def _on_request_timeout(self, xid: int) -> None:
+        pending = self._pending.get(xid)
+        if pending is None:
+            return
+        pending.timer = None
+        if pending.retries_left > 0 and self._channel.connected:
+            pending.retries_left -= 1
+            pending.timeout *= pending.backoff
+            self.request_retries += 1
+            self._channel._count_retry()
+            self.send(pending.msg)  # same xid: the reply resolves us
+            pending.timer = self._channel.sim.schedule(
+                pending.timeout, self._on_request_timeout, xid
+            )
+            return
+        del self._pending[xid]
+        self._fail_request(pending, Error.TIMEOUT,
+                           f"no reply to {type(pending.msg).__name__} "
+                           f"xid={xid}")
+
+    def _fail_request(self, pending: _PendingRequest, code: int,
+                      detail: str) -> None:
+        pending.cancel_timer()
+        self.requests_failed += 1
+        self._channel._count_request_failure()
+        err = Error(code, detail)
+        err.xid = pending.msg.xid
+        if pending.on_failure is not None:
+            pending.on_failure(err)
+        else:
+            pending.callback(err)
 
     def _receive(self, wire: bytes) -> None:
         msg = decode_message(wire)
@@ -112,7 +204,8 @@ class ChannelEndpoint:
         if isinstance(msg, REPLY_TYPES):
             pending = self._pending.pop(msg.xid, None)
             if pending is not None:
-                pending(msg)
+                pending.cancel_timer()
+                pending.callback(msg)
                 return
         if self.handler is not None:
             self.handler(msg)
@@ -121,9 +214,19 @@ class ChannelEndpoint:
         if up and self.on_connect is not None:
             self.on_connect()
         if not up:
-            self._pending.clear()
+            # Fail every outstanding request explicitly so callers (the
+            # stats poller, handshake logic, barriers) see the loss and
+            # can retry after reconnect, instead of waiting forever.
+            pending_now, self._pending = self._pending, {}
+            for pending in pending_now.values():
+                self._fail_request(pending, Error.CHANNEL_DOWN,
+                                   "control channel disconnected")
             if self.on_disconnect is not None:
                 self.on_disconnect()
+
+    @property
+    def pending_requests(self) -> int:
+        return len(self._pending)
 
     def __repr__(self) -> str:
         return f"<ChannelEndpoint {self.name}>"
@@ -156,6 +259,15 @@ class ControlChannel:
         self.latency = latency
         self.bandwidth_bps = bandwidth_bps
         self.connected = False
+        #: Connection epoch: bumped on every connect().  Deliveries carry
+        #: the epoch they were sent in; a mismatched epoch on arrival
+        #: means the channel dropped (and possibly reconnected) while the
+        #: message was in flight, so it is lost — a TCP connection does
+        #: not resurrect its send buffer into the next connection.
+        self.epoch = 0
+        self.connects = 0
+        self.disconnects = 0
+        self.messages_dropped = 0
         self.name = name
         self.switch_end = ChannelEndpoint(self, "switch")
         self.controller_end = ChannelEndpoint(self, "controller")
@@ -165,6 +277,10 @@ class ControlChannel:
             self.switch_end: 0.0,
             self.controller_end: 0.0,
         }
+        self._m_drops = None
+        self._m_flaps = None
+        self._m_retries = None
+        self._m_failures = None
         if telemetry is not None and telemetry.enabled:
             msgs = telemetry.metrics.counter(
                 "channel_messages_total", "Control messages sent",
@@ -179,12 +295,36 @@ class ControlChannel:
             self.switch_end._m_bytes = nbytes.labels(label, "to_controller")
             self.controller_end._m_msgs = msgs.labels(label, "to_switch")
             self.controller_end._m_bytes = nbytes.labels(label, "to_switch")
+            self._m_drops = telemetry.metrics.counter(
+                "channel_dropped_total",
+                "Control messages lost to disconnects (epoch mismatch)",
+                ("channel",),
+            ).labels(label)
+            self._m_flaps = telemetry.metrics.counter(
+                "channel_transitions_total",
+                "Channel connect/disconnect transitions",
+                ("channel", "event"),
+            )
+            self._m_retries = telemetry.metrics.counter(
+                "channel_request_retries_total",
+                "xid requests resent after a timeout",
+                ("channel",),
+            ).labels(label)
+            self._m_failures = telemetry.metrics.counter(
+                "channel_request_failures_total",
+                "xid requests failed (timeout or channel down)",
+                ("channel",),
+            ).labels(label)
 
     def connect(self) -> None:
         """Bring the channel up and notify both endpoints."""
         if self.connected:
             return
         self.connected = True
+        self.epoch += 1
+        self.connects += 1
+        if self._m_flaps is not None:
+            self._m_flaps.labels(self.name or "channel", "connect").inc()
         self.switch_end._connection_changed(True)
         self.controller_end._connection_changed(True)
 
@@ -193,6 +333,13 @@ class ControlChannel:
         if not self.connected:
             return
         self.connected = False
+        self.disconnects += 1
+        if self._m_flaps is not None:
+            self._m_flaps.labels(self.name or "channel", "disconnect").inc()
+        # A new connection starts with empty socket buffers: the old
+        # serialisation backlog must not delay post-reconnect messages.
+        self._busy_until[self.switch_end] = 0.0
+        self._busy_until[self.controller_end] = 0.0
         self.switch_end._connection_changed(False)
         self.controller_end._connection_changed(False)
 
@@ -204,12 +351,28 @@ class ControlChannel:
             depart = start + len(wire) * 8 / self.bandwidth_bps
             self._busy_until[sender] = depart
         arrival_delay = (depart - self.sim.now) + self.latency
-        self.sim.schedule(arrival_delay, self._arrive, receiver, wire)
+        self.sim.schedule(arrival_delay, self._arrive, receiver, wire,
+                          self.epoch)
 
-    def _arrive(self, receiver: ChannelEndpoint, wire: bytes) -> None:
-        if not self.connected:
+    def _arrive(self, receiver: ChannelEndpoint, wire: bytes,
+                epoch: int) -> None:
+        # Epoch check, not just `connected`: a message sent before a
+        # disconnect must stay lost even if the channel reconnected
+        # before the arrival event fired.
+        if not self.connected or epoch != self.epoch:
+            self.messages_dropped += 1
+            if self._m_drops is not None:
+                self._m_drops.inc()
             return  # lost in the disconnect
         receiver._receive(wire)
+
+    def _count_retry(self) -> None:
+        if self._m_retries is not None:
+            self._m_retries.inc()
+
+    def _count_request_failure(self) -> None:
+        if self._m_failures is not None:
+            self._m_failures.inc()
 
     def total_stats(self) -> dict:
         """Combined both-direction counters (benchmark E9 reads this)."""

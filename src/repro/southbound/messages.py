@@ -181,6 +181,10 @@ class Error(Message):
     BAD_GROUP = 5
     BAD_METER = 6
     BAD_ROLE = 7
+    # Synthetic codes: never sent on the wire, only fabricated locally
+    # by ChannelEndpoint to fail a pending request (see channel.py).
+    CHANNEL_DOWN = 8
+    TIMEOUT = 9
 
     def __init__(self, code: int = BAD_REQUEST, detail: str = "") -> None:
         self.code = code

@@ -36,21 +36,25 @@ class TestLosslessTransfer:
 
     def test_single_segment_transfer(self):
         net, h1, h2 = build_net()
-        receiver = ReliableReceiver(h2, 7000)
+        done = {}
+        ReliableReceiver(h2, 7000,
+                         on_complete=lambda x, d: done.update({x: d}))
         sender = ReliableSender(h1, h2.ip, 7000, b"tiny")
         net.run(2.0)
         assert sender.complete
-        assert receiver.completed[sender.transfer_id] == b"tiny"
+        assert done[sender.transfer_id] == b"tiny"
 
     def test_concurrent_transfers_do_not_mix(self):
         net, h1, h2 = build_net()
-        receiver = ReliableReceiver(h2, 7000)
+        done = {}
+        ReliableReceiver(h2, 7000,
+                         on_complete=lambda x, d: done.update({x: d}))
         a = ReliableSender(h1, h2.ip, 7000, b"A" * 5000, mss=500)
         b = ReliableSender(h1, h2.ip, 7000, b"B" * 5000, mss=500)
         net.run(5.0)
         assert a.complete and b.complete
-        assert receiver.completed[a.transfer_id] == b"A" * 5000
-        assert receiver.completed[b.transfer_id] == b"B" * 5000
+        assert done[a.transfer_id] == b"A" * 5000
+        assert done[b.transfer_id] == b"B" * 5000
 
     def test_transfer_metrics(self):
         net, h1, h2 = build_net()
@@ -121,7 +125,9 @@ class TestLossRecovery:
 
     def test_out_of_order_segments_discarded_and_reacked(self):
         net, h1, h2 = build_net(loss_rate=0.3, seed=11)
-        receiver = ReliableReceiver(h2, 7000)
+        done = {}
+        receiver = ReliableReceiver(
+            h2, 7000, on_complete=lambda x, d: done.update({x: d}))
         sender = ReliableSender(h1, h2.ip, 7000, b"k" * 20000,
                                 window=8, timeout=0.1)
         net.run(60.0)
@@ -130,7 +136,7 @@ class TestLossRecovery:
         # window 8 some discards must have happened.
         assert receiver.segments_discarded > 0
         # But the delivered stream is exactly the data, no duplication.
-        assert receiver.completed[sender.transfer_id] == b"k" * 20000
+        assert done[sender.transfer_id] == b"k" * 20000
 
     @settings(max_examples=15, deadline=None)
     @given(loss=st.sampled_from([0.0, 0.1, 0.25]),
@@ -141,10 +147,12 @@ class TestLossRecovery:
         """Whatever the loss rate, window, and size: delivered bytes
         equal sent bytes, exactly once, in order."""
         net, h1, h2 = build_net(loss_rate=loss, seed=seed)
-        receiver = ReliableReceiver(h2, 7000)
+        done = {}
+        ReliableReceiver(h2, 7000,
+                         on_complete=lambda x, d: done.update({x: d}))
         payload = bytes(i % 251 for i in range(size))
         sender = ReliableSender(h1, h2.ip, 7000, payload,
                                 window=window, timeout=0.1, mss=700)
         net.run(180.0)
         assert sender.complete
-        assert receiver.completed[sender.transfer_id] == payload
+        assert done[sender.transfer_id] == payload
