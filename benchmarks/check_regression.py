@@ -1,0 +1,62 @@
+"""CI gate: fail the build when the datapath fast path regresses.
+
+Absolute packets-per-wall-second numbers are machine-dependent, so the
+gate compares the *speedup ratio* (fast path on / off from the very
+same run), which normalises machine speed out.  Two conditions fail
+the build:
+
+* the current speedup dropped more than ``TOLERANCE`` relative to the
+  committed baseline (``benchmarks/baseline_e12.json``), or
+* the current speedup is below the hard floor of 2x that E12 promises.
+
+Usage (after the benchmark smoke run has written ``BENCH_E12.json``)::
+
+    python benchmarks/check_regression.py [path/to/BENCH_E12.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+BASELINE = os.path.join(HERE, "baseline_e12.json")
+DEFAULT_CURRENT = os.path.join(os.path.dirname(HERE), "BENCH_E12.json")
+
+TOLERANCE = 0.30   # >30% speedup regression vs baseline fails
+HARD_FLOOR = 2.0   # E12's contract, machine-independent
+
+
+def main(argv) -> int:
+    current_path = argv[1] if len(argv) > 1 else DEFAULT_CURRENT
+    try:
+        with open(current_path) as fh:
+            current = json.load(fh)
+    except OSError as exc:
+        print(f"regression gate: cannot read {current_path}: {exc}")
+        return 1
+    with open(BASELINE) as fh:
+        baseline = json.load(fh)
+
+    speedup = current["speedup"]
+    base_speedup = baseline["speedup"]
+    floor = base_speedup * (1.0 - TOLERANCE)
+    print(f"fast-path speedup: current {speedup:.2f}x, "
+          f"baseline {base_speedup:.2f}x, "
+          f"floor {floor:.2f}x (tolerance {TOLERANCE:.0%}), "
+          f"hard floor {HARD_FLOOR:.1f}x")
+    if speedup < HARD_FLOOR:
+        print(f"FAIL: speedup {speedup:.2f}x below hard floor "
+              f"{HARD_FLOOR:.1f}x")
+        return 1
+    if speedup < floor:
+        print(f"FAIL: speedup {speedup:.2f}x regressed more than "
+              f"{TOLERANCE:.0%} from baseline {base_speedup:.2f}x")
+        return 1
+    print("OK: fast path within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -8,9 +8,11 @@ captures them and EXPERIMENTS.md can cite them verbatim.
 
 from __future__ import annotations
 
+import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def publish(artifact_id: str, table) -> str:
@@ -23,6 +25,26 @@ def publish(artifact_id: str, table) -> str:
     print()
     print(text)
     return text
+
+
+def publish_json(bench_id: str, payload: dict) -> dict:
+    """Persist machine-readable results for trajectory tracking.
+
+    Two copies are written: ``benchmarks/results/<bench_id>.json``
+    (committed history) and ``BENCH_<BENCH_ID>.json`` at the repo root
+    (picked up by CI as a build artifact and by the regression gate).
+    """
+    record = {"bench": bench_id.upper()}
+    record.update(payload)
+    blob = json.dumps(record, indent=2, sort_keys=True) + "\n"
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{bench_id.lower()}.json"),
+              "w") as fh:
+        fh.write(blob)
+    with open(os.path.join(REPO_ROOT, f"BENCH_{bench_id.upper()}.json"),
+              "w") as fh:
+        fh.write(blob)
+    return record
 
 
 def seed_arp(network) -> None:

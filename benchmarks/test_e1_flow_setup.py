@@ -19,7 +19,7 @@ from repro.baselines import SpanningTreeNetwork
 from repro.core import ZenPlatform
 from repro.netem import Network, Topology
 
-from harness import publish, seed_arp
+from harness import publish, publish_json, seed_arp
 
 SIZES = (2, 4, 8)
 CONTROL_LATENCY = 0.002  # 2 ms to the controller
@@ -94,6 +94,11 @@ def results():
 def test_e1_flow_setup(results, benchmark):
     table, data = results
     publish("e1_table1", table)
+    publish_json("E1", {"rows": [
+        {"switches": size, "scheme": scheme, "first_ping_ms": cold,
+         "warm_ping_ms": warm}
+        for (size, scheme), (cold, warm) in sorted(data.items())
+    ]})
     benchmark.pedantic(lambda: measure_sdn("reactive", 2), rounds=1,
                        iterations=1)
     for size in SIZES:

@@ -23,7 +23,7 @@ from repro.packet import Ethernet, IPv4, UDP
 from repro.sim import Simulator
 from repro.southbound import ControlChannel, SwitchAgent
 
-from harness import publish
+from harness import publish, publish_json
 
 SERVICE_TIME = 50e-6  # 50 µs per packet-in => 20k/s capacity
 CAPACITY = 1.0 / SERVICE_TIME
@@ -99,6 +99,10 @@ def results():
 def test_e3_controller_throughput(results, benchmark):
     table, data = results
     publish("e3_table2", table)
+    publish_json("E3", {"rows": [
+        {"switches": num_switches, "load_factor": load_factor, **out}
+        for (num_switches, load_factor), out in sorted(data.items())
+    ]})
     benchmark.pedantic(lambda: drive(1, int(CAPACITY * 0.5)),
                        rounds=1, iterations=1)
     for num_switches in (1, 4, 16):

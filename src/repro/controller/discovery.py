@@ -25,6 +25,7 @@ from repro.controller.events import (
 from repro.dataplane.actions import Output, PORT_CONTROLLER
 from repro.dataplane.match import Match
 from repro.packet import Ethernet, EtherType, LLDP, LLDP_MULTICAST
+from repro.southbound.codec import FrameCache
 
 __all__ = ["TopologyDiscovery", "DiscoveredLink"]
 
@@ -69,6 +70,9 @@ class TopologyDiscovery(App):
         #: (src_dpid, src_port) -> DiscoveredLink
         self.links: Dict[Tuple[int, int], DiscoveredLink] = {}
         self._stop_probe: Optional[Callable[[], None]] = None
+        # Probe frames are a pure function of (dpid, port, mac, ttl), so
+        # build and encode each one exactly once across all intervals.
+        self._frames = FrameCache()
 
     def start(self, controller) -> None:
         super().start(controller)
@@ -106,15 +110,24 @@ class TopologyDiscovery(App):
         self._age_links()
 
     def _probe_switch(self, switch: SwitchHandle) -> None:
+        ttl = int(self.link_timeout) + 1
         for port in switch.ports.values():
             if not port.up:
                 continue
-            frame = (
-                Ethernet(dst=LLDP_MULTICAST, src=port.mac_bytes)
-                / LLDP(chassis_id=switch.dpid, port_id=port.number,
-                       ttl=int(self.link_timeout) + 1)
+            frame, encoded = self._frames.get(
+                (switch.dpid, port.number, port.mac_bytes, ttl),
+                lambda: self._build_probe(switch.dpid, port, ttl),
             )
-            switch.packet_out(frame, [Output(port.number)])
+            switch.packet_out(frame, [Output(port.number)],
+                              encoded=encoded)
+
+    @staticmethod
+    def _build_probe(dpid: int, port, ttl: int):
+        frame = (
+            Ethernet(dst=LLDP_MULTICAST, src=port.mac_bytes)
+            / LLDP(chassis_id=dpid, port_id=port.number, ttl=ttl)
+        )
+        return frame, frame.encode()
 
     # ------------------------------------------------------------------
     # Learning

@@ -69,6 +69,7 @@ class ZenPlatform:
         probe_interval: float = 1.0,
         exact_match: bool = False,
         telemetry=None,
+        fast_path: bool = True,
     ) -> None:
         if profile not in _PROFILES:
             raise ControllerError(
@@ -82,6 +83,7 @@ class ZenPlatform:
             table_capacity=table_capacity,
             eviction_policy=eviction_policy,
             telemetry=telemetry,
+            fast_path=fast_path,
         )
         #: The observability plane shared by every layer of this stack.
         self.telemetry = self.net.telemetry

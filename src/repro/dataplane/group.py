@@ -132,27 +132,43 @@ class GroupEntry:
 
 
 class GroupTable:
-    """The switch's group id → entry mapping."""
+    """The switch's group id → entry mapping.
+
+    ``on_change`` (when set) fires after any mutation; the owning
+    datapath uses it to invalidate its microflow fast path.
+    """
 
     def __init__(self) -> None:
         self._groups: Dict[int, GroupEntry] = {}
+        self.on_change: Optional[Callable[[], None]] = None
+
+    def _changed(self) -> None:
+        if self.on_change is not None:
+            self.on_change()
 
     def add(self, entry: GroupEntry) -> None:
         if entry.group_id in self._groups:
             raise DataplaneError(f"group {entry.group_id} already exists")
         self._groups[entry.group_id] = entry
+        self._changed()
 
     def modify(self, entry: GroupEntry) -> None:
         if entry.group_id not in self._groups:
             raise DataplaneError(f"group {entry.group_id} does not exist")
         self._groups[entry.group_id] = entry
+        self._changed()
 
     def delete(self, group_id: int) -> Optional[GroupEntry]:
-        return self._groups.pop(group_id, None)
+        entry = self._groups.pop(group_id, None)
+        if entry is not None:
+            self._changed()
+        return entry
 
     def clear(self) -> int:
         count = len(self._groups)
         self._groups.clear()
+        if count:
+            self._changed()
         return count
 
     def get(self, group_id: int) -> GroupEntry:

@@ -8,7 +8,7 @@ E10) enforceable in the dataplane rather than by controller politeness.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.errors import DataplaneError
 
@@ -88,27 +88,43 @@ class MeterEntry:
 
 
 class MeterTable:
-    """The switch's meter id → entry mapping."""
+    """The switch's meter id → entry mapping.
+
+    ``on_change`` (when set) fires after any mutation; the owning
+    datapath uses it to invalidate its microflow fast path.
+    """
 
     def __init__(self) -> None:
         self._meters: Dict[int, MeterEntry] = {}
+        self.on_change: Optional[Callable[[], None]] = None
+
+    def _changed(self) -> None:
+        if self.on_change is not None:
+            self.on_change()
 
     def add(self, entry: MeterEntry) -> None:
         if entry.meter_id in self._meters:
             raise DataplaneError(f"meter {entry.meter_id} already exists")
         self._meters[entry.meter_id] = entry
+        self._changed()
 
     def modify(self, entry: MeterEntry) -> None:
         if entry.meter_id not in self._meters:
             raise DataplaneError(f"meter {entry.meter_id} does not exist")
         self._meters[entry.meter_id] = entry
+        self._changed()
 
     def delete(self, meter_id: int) -> Optional[MeterEntry]:
-        return self._meters.pop(meter_id, None)
+        entry = self._meters.pop(meter_id, None)
+        if entry is not None:
+            self._changed()
+        return entry
 
     def clear(self) -> int:
         count = len(self._meters)
         self._meters.clear()
+        if count:
+            self._changed()
         return count
 
     def get(self, meter_id: int) -> MeterEntry:

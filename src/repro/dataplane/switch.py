@@ -20,10 +20,16 @@ from repro.dataplane.actions import (
     PORT_IN_PORT,
     PORT_TABLE,
     Action,
+    Group,
     TTLExpired,
     apply_actions,
 )
-from repro.dataplane.flowtable import FlowEntry, FlowTable, RemovalReason
+from repro.dataplane.flowtable import (
+    FlowEntry,
+    FlowTable,
+    RemovalReason,
+    _probe_key,
+)
 from repro.dataplane.group import GroupTable
 from repro.dataplane.match import FlowKey, Match
 from repro.dataplane.meter import MeterTable
@@ -36,6 +42,29 @@ __all__ = ["Datapath", "Port", "PacketInReason", "TableMissBehaviour"]
 
 #: Recursion guard for group→group action chains.
 _MAX_GROUP_DEPTH = 4
+
+#: Microflow cache entries before a generation bump also clears the dict
+#: (bounds memory; correctness never depends on eager clearing).
+_FP_CACHE_MAX = 8192
+
+
+class _CachedPath:
+    """One resolved walk through the table pipeline for a microflow.
+
+    ``steps`` is the exact lookup sequence the slow path performed:
+    ``(table_id, entry_or_None, needs_key)`` triples, where ``needs_key``
+    records whether the entry's actions consult the flow key (group
+    selection) so replay only re-extracts keys when semantics demand it.
+    ``terminal`` is how the walk ended: ``"stop"`` (entry with no goto),
+    ``"punt"`` (miss sent to the controller) or ``"drop"``.
+    """
+
+    __slots__ = ("gen", "steps", "terminal")
+
+    def __init__(self, gen: int, steps: list, terminal: str) -> None:
+        self.gen = gen
+        self.steps = steps
+        self.terminal = terminal
 
 
 class PacketInReason:
@@ -127,6 +156,7 @@ class Datapath:
         miss_behaviour: str = TableMissBehaviour.CONTROLLER,
         expiry_interval: float = 1.0,
         telemetry=None,
+        fast_path: bool = True,
     ) -> None:
         if num_tables < 1:
             raise DataplaneError("a datapath needs at least one table")
@@ -167,6 +197,22 @@ class Datapath:
         self.meters = MeterTable()
         self.ports: Dict[int, Port] = {}
         self.miss_behaviour = miss_behaviour
+
+        # Microflow fast path: exact-match cache in front of the table
+        # pipeline, keyed by the packet's flow-key value tuple.  Any
+        # table/group/meter mutation or port flap bumps the generation,
+        # orphaning every cached path at O(1) cost.  The cache is
+        # semantically invisible: replay reproduces every counter, trace
+        # span, and side effect the slow path would have produced.
+        self._fp_enabled = fast_path
+        self._fp_cache: Dict[tuple, _CachedPath] = {}
+        self._fp_gen = 0
+        self.fast_path_hits = 0
+        self.fast_path_misses = 0
+        for flow_table in self.tables:
+            flow_table.on_change = self.invalidate_fast_path
+        self.groups.on_change = self.invalidate_fast_path
+        self.meters.on_change = self.invalidate_fast_path
 
         # Hooks — the emulator sets transmit; the southbound agent (or a
         # test) sets the on_* callbacks.  Defaults are safe no-ops.
@@ -216,6 +262,7 @@ class Datapath:
         if port.up == up:
             return
         port.up = up
+        self.invalidate_fast_path()
         if self.on_port_status is not None:
             reason = "up" if up else "down"
             self.on_port_status(port, reason)
@@ -282,12 +329,56 @@ class Datapath:
             )
         self._run_pipeline(packet, in_port, table_id=0)
 
+    def invalidate_fast_path(self) -> None:
+        """Orphan every cached microflow path (O(1) generation bump).
+
+        Called automatically on any flow/group/meter table change and on
+        port status flaps; callers that mutate installed entries in
+        place (e.g. FlowMod MODIFY rewriting actions) must call it too.
+        """
+        self._fp_gen += 1
+        if len(self._fp_cache) > _FP_CACHE_MAX:
+            self._fp_cache.clear()
+
     def _run_pipeline(self, packet: Packet, in_port: int,
                       table_id: int) -> None:
+        key = FlowKey.from_packet(packet, in_port)
+        if table_id != 0 or not self._fp_enabled:
+            self._walk(packet, in_port, table_id, key, None)
+            return
+        probe = _probe_key(key)
+        path = self._fp_cache.get(probe)
+        if path is not None and path.gen == self._fp_gen:
+            self.fast_path_hits += 1
+            self._replay(path, packet, in_port, key)
+            return
+        self.fast_path_misses += 1
+        steps: list = []
+        terminal = self._walk(packet, in_port, table_id, key, steps)
+        if terminal is not None:
+            # Walks where the packet died mid-pipeline (meter drop, TTL
+            # expiry) are not cached: the truncated lookup sequence is
+            # packet-state-dependent, not a property of the microflow.
+            self._fp_cache[probe] = _CachedPath(self._fp_gen, steps,
+                                               terminal)
+
+    def _walk(self, packet: Packet, in_port: int, table_id: int,
+              key: FlowKey, steps: Optional[list]) -> Optional[str]:
+        """The slow path: walk the table pipeline, optionally recording
+        each lookup into ``steps`` for the microflow cache.
+
+        Returns the terminal kind (``"stop"``/``"punt"``/``"drop"``), or
+        ``None`` when the packet died mid-walk and the recorded steps do
+        not describe the full pipeline for this microflow.
+        """
         size = len(packet)
         while True:
-            key = FlowKey.from_packet(packet, in_port)
             entry = self.tables[table_id].lookup(key)
+            if steps is not None:
+                needs_key = entry is not None and any(
+                    isinstance(a, Group) for a in entry.actions
+                )
+                steps.append((table_id, entry, needs_key))
             if packet.trace_id is not None and self._tracing:
                 self.telemetry.tracer.record(
                     packet.trace_id, "table.lookup", "dataplane",
@@ -296,35 +387,72 @@ class Datapath:
                     priority=entry.priority if entry is not None else "-",
                 )
             if entry is None:
-                self._handle_miss(packet, in_port, table_id)
-                return
+                behaviour = self.miss_behaviour
+                if behaviour == TableMissBehaviour.CONTINUE:
+                    if table_id + 1 < len(self.tables):
+                        table_id += 1
+                        continue
+                    self._count_drop()
+                    return "drop"
+                if behaviour == TableMissBehaviour.CONTROLLER:
+                    self._punt(packet, in_port, PacketInReason.NO_MATCH)
+                    return "punt"
+                self._count_drop()
+                return "drop"
             entry.touch(self.sim.now, size)
             packet = self._execute(entry.actions, packet, in_port, key,
                                    has_goto=entry.goto_table is not None)
             if packet is None:
-                return  # metered out or TTL-expired
+                return None  # metered out or TTL-expired
             if entry.goto_table is None:
-                return
+                return "stop"
             if entry.goto_table <= table_id:
                 raise DataplaneError(
                     f"goto_table must move forward "
                     f"({table_id} -> {entry.goto_table})"
                 )
             table_id = entry.goto_table
+            key = FlowKey.from_packet(packet, in_port)
 
-    def _handle_miss(self, packet: Packet, in_port: int,
-                     table_id: int) -> None:
-        behaviour = self.miss_behaviour
-        if behaviour == TableMissBehaviour.CONTINUE:
-            if table_id + 1 < len(self.tables):
-                self._run_pipeline(packet, in_port, table_id + 1)
-            else:
-                self._count_drop()
-            return
-        if behaviour == TableMissBehaviour.CONTROLLER:
+    def _replay(self, path: _CachedPath, packet: Packet,
+                in_port: int, key: FlowKey) -> None:
+        """Re-execute a cached pipeline walk without any table lookups.
+
+        Every observable effect of the slow path is reproduced — entry
+        counters, per-table lookup/match stats, trace spans, punts and
+        drops — so a run is bit-identical with the cache on or off.
+        Actions still execute against the live packet, and the packet
+        can still die at a meter or TTL check exactly as it would have.
+        """
+        size = len(packet)
+        now = self.sim.now
+        tracing = packet.trace_id is not None and self._tracing
+        tables = self.tables
+        for table_id, entry, needs_key in path.steps:
+            hit = entry is not None
+            tables[table_id].record_lookup(hit)
+            if tracing:
+                self.telemetry.tracer.record(
+                    packet.trace_id, "table.lookup", "dataplane",
+                    dpid=self.dpid, table=table_id, hit=hit,
+                    priority=entry.priority if hit else "-",
+                )
+            if not hit:
+                continue
+            entry.touch(now, size)
+            if needs_key and key is None:
+                key = FlowKey.from_packet(packet, in_port)
+            packet = self._execute(entry.actions, packet, in_port, key,
+                                   has_goto=entry.goto_table is not None)
+            if packet is None:
+                return  # metered out or TTL-expired, same as the walk
+            # Actions may have rewritten header fields; re-extract the
+            # key lazily if a later step needs it for group selection.
+            key = None
+        if path.terminal == "punt":
             self._punt(packet, in_port, PacketInReason.NO_MATCH)
-            return
-        self._count_drop()
+        elif path.terminal == "drop":
+            self._count_drop()
 
     def _execute(
         self,
@@ -468,7 +596,7 @@ class Datapath:
         for table in self.tables:
             for entry, reason in table.expire(self.sim.now):
                 self._notify_removed(table.table_id, entry, reason)
-            if any(e.idle_timeout or e.hard_timeout for e in table):
+            if table.has_timeouts:
                 rearm = True
         if rearm:
             self._ensure_sweep()
@@ -495,6 +623,19 @@ class Datapath:
             "dropped": self.packets_dropped,
             "to_controller": self.packets_to_controller,
             "flows": self.flow_count(),
+        }
+
+    def fast_path_stats(self) -> dict:
+        """Microflow cache effectiveness (perf diagnostics, not protocol
+        state — deliberately separate from :meth:`stats`)."""
+        total = self.fast_path_hits + self.fast_path_misses
+        return {
+            "enabled": self._fp_enabled,
+            "hits": self.fast_path_hits,
+            "misses": self.fast_path_misses,
+            "hit_rate": self.fast_path_hits / total if total else 0.0,
+            "cached_paths": len(self._fp_cache),
+            "generation": self._fp_gen,
         }
 
     def __repr__(self) -> str:

@@ -48,6 +48,7 @@ class Network:
         eviction_policy: Optional[str] = None,
         miss_behaviour: str = "controller",
         telemetry=None,
+        fast_path: bool = True,
     ) -> None:
         topology.validate()
         self.topology = topology
@@ -79,6 +80,7 @@ class Network:
                 eviction_policy=eviction_policy,
                 miss_behaviour=miss_behaviour,
                 telemetry=telemetry,
+                fast_path=fast_path,
             )
             self.switches[spec.name] = dp
             self._port_map[spec.name] = {}

@@ -234,6 +234,9 @@ class SwitchAgent:
                 ):
                     entry.actions = list(msg.actions)
                     entry.flags = msg.flags
+                # In-place action rewrite bypasses the table's mutation
+                # hooks; cached microflow paths hold the old actions.
+                self.datapath.invalidate_fast_path()
             elif msg.command in (FlowModCommand.DELETE,
                                  FlowModCommand.DELETE_STRICT):
                 self.datapath.remove_flows(

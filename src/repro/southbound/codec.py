@@ -35,11 +35,60 @@ from repro.errors import ProtocolError
 from repro.packet import IPv4Address, IPv4Network, MACAddress
 
 __all__ = [
+    "FrameCache",
     "encode_match",
     "decode_match",
     "encode_actions",
     "decode_actions",
 ]
+
+
+class FrameCache:
+    """Memoises the wire bytes of frames rebuilt identically every
+    interval — LLDP probes, echo keepalives, and anything else periodic.
+
+    Callers supply a hashable identity key and a builder; the builder
+    runs once and the bytes (plus an optional companion object, e.g. the
+    un-encoded packet) are replayed on every later tick.  Encoding a
+    probe frame costs header serialisation and checksums per port per
+    interval, which at discovery rates on large fabrics is pure waste —
+    the frames never change.
+
+    The cache is transparent: it stores what the builder returned, so a
+    hit is byte-identical to a rebuild by construction.
+    """
+
+    __slots__ = ("_cache", "hits", "misses", "max_entries")
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self._cache: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.max_entries = max_entries
+
+    def get(self, key, build):
+        """The cached value for ``key``, building it on first use."""
+        value = self._cache.get(key)
+        if value is not None:
+            self.hits += 1
+            return value
+        self.misses += 1
+        value = build()
+        if len(self._cache) >= self.max_entries:
+            self._cache.clear()  # simple bound; periodic sets are small
+        self._cache[key] = value
+        return value
+
+    def invalidate(self, key=None) -> None:
+        """Forget one key, or everything when ``key`` is ``None``."""
+        if key is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
 
 # ----------------------------------------------------------------------
 # Match TLVs

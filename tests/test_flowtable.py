@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.dataplane import (
+    VLAN_ABSENT,
     FlowEntry,
     FlowKey,
     FlowTable,
@@ -187,3 +188,77 @@ class TestCapacity:
             table.insert(entry(priority=priority,
                                match=Match(l4_dst=port)), now=now)
             assert len(table) <= 5
+
+
+class TestSizeAndOccupancy:
+    def test_unbounded_occupancy_is_zero_not_nan(self):
+        table = FlowTable()  # no capacity
+        table.insert(entry(match=Match(l4_dst=1)))
+        table.insert(entry(match=Match(l4_dst=2)))
+        assert table.occupancy == 0.0
+
+    def test_empty_unbounded_occupancy_is_zero(self):
+        assert FlowTable().occupancy == 0.0
+
+    def test_size_tracks_count(self):
+        table = FlowTable()
+        assert table.size == 0
+        table.insert(entry(match=Match(l4_dst=1)))
+        table.insert(entry(match=Match(l4_dst=2)))
+        assert table.size == 2
+        table.delete(match=Match(l4_dst=1))
+        assert table.size == 1
+
+    def test_has_timeouts_transitions(self):
+        table = FlowTable()
+        assert not table.has_timeouts
+        table.insert(entry(match=Match(l4_dst=1), hard_timeout=1.0),
+                     now=0.0)
+        assert table.has_timeouts
+        table.expire(5.0)
+        assert not table.has_timeouts
+
+
+class TestChangeNotification:
+    def test_on_change_fires_for_mutations_only(self):
+        table = FlowTable()
+        bumps = []
+        table.on_change = lambda: bumps.append(1)
+        table.insert(entry(match=Match(l4_dst=1), hard_timeout=1.0))
+        assert len(bumps) == 1
+        table.lookup(key(1))                 # reads don't notify
+        assert len(bumps) == 1
+        table.delete(match=Match(l4_dst=99))  # no-op delete
+        assert len(bumps) == 1
+        table.expire(0.5)                     # nothing expired yet
+        assert len(bumps) == 1
+        table.expire(2.0)
+        assert len(bumps) == 2
+
+    def test_exact_index_agrees_with_scan_on_full_match(self):
+        # A fully-specified match lands in the exact sub-index; lookup
+        # must honour priority against wildcard entries around it.
+        full = Match(
+            in_port=1,
+            eth_src="00:00:00:00:00:01",
+            eth_dst="00:00:00:00:00:02",
+            eth_type=0x0800,
+            vlan_vid=VLAN_ABSENT,
+            ip_src="10.0.0.1",
+            ip_dst="10.0.0.2",
+            ip_proto=17,
+            ip_dscp=0,
+            l4_src=1,
+            l4_dst=80,
+        )
+        table = FlowTable()
+        low = entry(priority=1, match=Match(l4_dst=80), port=9)
+        exact = FlowEntry(full, [Output(2)], priority=5)
+        high = entry(priority=7, match=Match(l4_dst=80), port=3)
+        table.insert(low)
+        table.insert(exact)
+        assert table.lookup(key(80)) is exact
+        table.insert(high)
+        assert table.lookup(key(80)) is high
+        table.delete(match=Match(l4_dst=80), priority=7, strict=True)
+        assert table.lookup(key(80)) is exact

@@ -248,3 +248,49 @@ class TestRandomness:
         assert fa1.random() == fb1.random()
         # Distinct children produce distinct streams.
         assert fa1.random() != fa2.random()
+
+
+class TestPendingEventAccounting:
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        events = [sim.schedule(1.0 + i, lambda: None) for i in range(10)]
+        assert sim.pending_events == 10
+        for event in events[:4]:
+            event.cancel()
+        assert sim.pending_events == 6
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        event.cancel()
+        assert sim.pending_events == 1
+        sim.run_until_idle()
+        assert sim.pending_events == 0
+
+    def test_cancel_after_fire_does_not_corrupt_count(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: event.cancel())
+        sim.schedule(3.0, lambda: None)
+        sim.run_until_idle()
+        assert fired == [1]
+        assert sim.pending_events == 0
+
+    def test_count_survives_heavy_cancel_churn(self):
+        sim = Simulator(seed=3)
+        rng = sim.fork_rng()
+        live = []
+        for i in range(500):
+            event = sim.schedule(rng.uniform(0.0, 5.0), lambda: None)
+            if rng.random() < 0.5:
+                event.cancel()
+            else:
+                live.append(event)
+        assert sim.pending_events == len(live)
+        processed = sim.run_until_idle()
+        assert processed == len(live)
+        assert sim.pending_events == 0
