@@ -1,0 +1,480 @@
+"""Seeded scenario fuzzing: generate, run, check, reproduce.
+
+A :class:`Scenario` is a JSON-serialisable tuple of (topology, app
+stack, workload, fault schedule, settle time).  Generation is a pure
+function of the seed (``random.Random(seed)``), the run itself happens
+on the deterministic kernel, and the checker verdict is computed from a
+read-only snapshot — so *everything* about a scenario replays
+bit-identically, and a failing seed can be shipped as a small repro
+file and replayed anywhere.
+
+Every generated fault recovers (flaps restore links and channels,
+crashes get restarts), so the pass criterion is simple and strict: the
+*final* invariant check must be clean.  Transient violations while
+faults are live are expected — the online monitor exists to watch those
+— but a violation that survives recovery and resync is a bug, and the
+fuzzer writes a minimal repro file for it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from typing import Callable, List, Optional
+
+from repro.core import ZenPlatform
+from repro.faults import FaultSchedule
+
+from repro.check.invariants import NetworkChecker
+from repro.check.monitor import InvariantMonitor
+
+__all__ = [
+    "Scenario",
+    "ScenarioResult",
+    "generate_scenario",
+    "run_scenario",
+    "platform_observables",
+    "result_digest",
+    "fuzz",
+    "write_repro",
+    "load_scenario",
+    "replay",
+    "minimize",
+    "example_scenarios",
+    "run_corpus",
+]
+
+SCENARIO_VERSION = 1
+
+_TOPOLOGY_KINDS = ("linear", "ring", "star", "tree", "mesh")
+_PROFILES = ("reactive", "proactive")
+
+
+class Scenario:
+    """One fuzz case: everything needed to reproduce a run."""
+
+    __slots__ = ("seed", "name", "topology", "size", "profile", "stack",
+                 "workload", "faults", "settle")
+
+    def __init__(self, seed: int, name: str, topology: str, size: int,
+                 profile: str, stack: str = "plain",
+                 workload: Optional[List[dict]] = None,
+                 faults: Optional[List[dict]] = None,
+                 settle: float = 8.0) -> None:
+        self.seed = seed
+        self.name = name
+        self.topology = topology
+        self.size = size
+        self.profile = profile
+        #: "plain" (profile apps only), "policy" (slicing + firewall +
+        #: proactive routing across tables), or "multipath" (SELECT-group
+        #: ECMP fabric) — mirroring the shipped examples/ stacks.
+        self.stack = stack
+        self.workload = workload if workload is not None else []
+        self.faults = faults if faults is not None else []
+        self.settle = settle
+
+    def to_dict(self) -> dict:
+        return {
+            "version": SCENARIO_VERSION,
+            "seed": self.seed,
+            "name": self.name,
+            "topology": self.topology,
+            "size": self.size,
+            "profile": self.profile,
+            "stack": self.stack,
+            "workload": list(self.workload),
+            "faults": list(self.faults),
+            "settle": self.settle,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        return cls(
+            seed=data["seed"], name=data["name"],
+            topology=data["topology"], size=data["size"],
+            profile=data["profile"], stack=data.get("stack", "plain"),
+            workload=list(data.get("workload", [])),
+            faults=list(data.get("faults", [])),
+            settle=data.get("settle", 8.0),
+        )
+
+    def horizon(self) -> float:
+        """Simulated seconds the run needs after start-up."""
+        last = 1.0
+        for entry in self.workload:
+            last = max(last, entry["at"] + 1.0)
+        for fault in self.faults:
+            if fault["kind"] in ("link_flap", "channel_flap"):
+                last = max(last, fault["at"]
+                           + fault["count"] * fault["period"])
+            else:  # switch_crash
+                last = max(last, fault["at"] + fault["restart_after"])
+        return last + self.settle
+
+    def __repr__(self) -> str:
+        return (f"<Scenario {self.name!r} seed={self.seed} "
+                f"{self.topology}({self.size})/{self.profile} "
+                f"{len(self.faults)} faults>")
+
+
+class ScenarioResult:
+    """Outcome of one scenario run."""
+
+    __slots__ = ("scenario", "ok", "verdicts", "observables",
+                 "monitor_failures", "faults_fired")
+
+    def __init__(self, scenario: Scenario, ok: bool, verdicts: dict,
+                 observables: dict, monitor_failures: List[str],
+                 faults_fired: int) -> None:
+        self.scenario = scenario
+        self.ok = ok
+        self.verdicts = verdicts
+        self.observables = observables
+        #: Trigger strings of monitor runs that saw violations
+        #: (transient failures; informational, not the pass criterion).
+        self.monitor_failures = monitor_failures
+        self.faults_fired = faults_fired
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "ok": self.ok,
+            "verdicts": self.verdicts,
+            "observables": self.observables,
+            "monitor_failures": list(self.monitor_failures),
+            "faults_fired": self.faults_fired,
+        }
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+
+def generate_scenario(seed: int) -> Scenario:
+    """A deterministic function of ``seed`` — same seed, same scenario."""
+    rng = random.Random(seed)
+    kind = rng.choice(_TOPOLOGY_KINDS)
+    size = rng.randint(3, 5)
+    profile = rng.choice(_PROFILES)
+    scenario = Scenario(seed, f"fuzz-{seed}", kind, size, profile)
+
+    topo = _build_topology(kind, size)
+    switch_names = sorted(
+        n.name for n in topo.nodes.values() if n.is_switch
+    )
+    host_names = sorted(
+        n.name for n in topo.nodes.values() if not n.is_switch
+    )
+    switch_links = sorted(
+        (link.a, link.b) for link in topo.links
+        if topo.nodes[link.a].is_switch and topo.nodes[link.b].is_switch
+    )
+
+    for _ in range(rng.randint(2, 4)):
+        src, dst = rng.sample(host_names, 2)
+        scenario.workload.append({
+            "src": src, "dst": dst,
+            "at": round(rng.uniform(0.2, 2.0), 3),
+        })
+
+    for _ in range(rng.randint(0, 3)):
+        roll = rng.random()
+        at = round(rng.uniform(0.5, 3.0), 3)
+        if roll < 0.45 and switch_links:
+            a, b = rng.choice(switch_links)
+            down_for = round(rng.uniform(0.3, 0.8), 3)
+            scenario.faults.append({
+                "kind": "link_flap", "a": a, "b": b, "at": at,
+                "down_for": down_for,
+                "period": round(down_for + rng.uniform(0.7, 1.5), 3),
+                "count": rng.randint(1, 2),
+            })
+        elif roll < 0.8:
+            down_for = round(rng.uniform(0.3, 0.8), 3)
+            scenario.faults.append({
+                "kind": "channel_flap",
+                "switch": rng.choice(switch_names), "at": at,
+                "down_for": down_for,
+                "period": round(down_for + rng.uniform(0.7, 1.5), 3),
+                "count": rng.randint(1, 2),
+            })
+        else:
+            scenario.faults.append({
+                "kind": "switch_crash",
+                "switch": rng.choice(switch_names), "at": at,
+                "restart_after": round(rng.uniform(0.5, 1.0), 3),
+            })
+    return scenario
+
+
+def _build_topology(kind: str, size: int):
+    from repro.cli import build_topology
+
+    return build_topology(kind, size, 1e9)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+def _build_stack(scenario: Scenario, fast_path: bool) -> ZenPlatform:
+    topo = _build_topology(scenario.topology, scenario.size)
+    if scenario.stack == "plain":
+        return ZenPlatform(topo, profile=scenario.profile,
+                           seed=scenario.seed, fast_path=fast_path)
+    if scenario.stack == "policy":
+        from repro.apps.firewall import Firewall
+        from repro.apps.proactive_router import ProactiveRouter
+        from repro.apps.slicing import NetworkSlicing
+
+        platform = ZenPlatform(topo, profile="bare",
+                               seed=scenario.seed, fast_path=fast_path)
+        slicing = platform.add_app(
+            NetworkSlicing(table_id=0, next_table=1)
+        )
+        firewall = platform.add_app(
+            Firewall(table_id=1, next_table=2)
+        )
+        platform.router = platform.add_app(ProactiveRouter(table_id=2))
+        hosts = sorted(platform.net.hosts)
+        half = max(1, len(hosts) // 2)
+        slicing.define_slice(
+            "blue", [platform.net.hosts[h].ip for h in hosts[:half]],
+            rate_bps=50e6,
+        )
+        firewall.deny(l4_dst=23)  # no telnet across the fabric
+        return platform
+    if scenario.stack == "multipath":
+        from repro.apps import MultipathRouter
+
+        platform = ZenPlatform(topo, profile="bare",
+                               seed=scenario.seed, fast_path=fast_path)
+        platform.router = platform.add_app(MultipathRouter(max_paths=2))
+        return platform
+    raise ValueError(f"unknown stack {scenario.stack!r}")
+
+
+def _arm_faults(scenario: Scenario, schedule: FaultSchedule,
+                base: float) -> None:
+    for fault in scenario.faults:
+        kind = fault["kind"]
+        at = base + fault["at"]
+        if kind == "link_flap":
+            schedule.link_flap(at, fault["a"], fault["b"],
+                               down_for=fault["down_for"],
+                               period=fault["period"],
+                               count=fault["count"])
+        elif kind == "channel_flap":
+            schedule.channel_flap(at, fault["switch"],
+                                  down_for=fault["down_for"],
+                                  period=fault["period"],
+                                  count=fault["count"])
+        elif kind == "switch_crash":
+            schedule.switch_crash(at, fault["switch"],
+                                  restart_after=fault["restart_after"])
+        else:
+            raise ValueError(f"unknown fault kind {kind!r}")
+
+
+def platform_observables(platform: ZenPlatform) -> dict:
+    """Everything externally visible about a finished run, as plain
+    data — the object two runs are compared on for bit-identity."""
+    net = platform.net
+    flows = {}
+    for name in sorted(net.switches):
+        dp = net.switches[name]
+        flows[name] = [
+            [table.table_id,
+             [repr(e.match) for e in table.entries()],
+             [e.priority for e in table.entries()]]
+            for table in dp.tables
+        ]
+    return {
+        "time": net.sim.now,
+        "events": net.sim.events_processed,
+        "dp_stats": {name: net.switches[name].stats()
+                     for name in sorted(net.switches)},
+        "flows": flows,
+        "hosts": {
+            name: {
+                "tx": net.hosts[name].tx_packets,
+                "rx": net.hosts[name].rx_packets,
+            }
+            for name in sorted(net.hosts)
+        },
+        "controller": {
+            "events": platform.controller.events_published,
+            "resyncs": platform.controller.resyncs,
+        },
+    }
+
+
+def run_scenario(scenario: Scenario, fast_path: bool = True,
+                 monitor: bool = False,
+                 checker: Optional[NetworkChecker] = None
+                 ) -> ScenarioResult:
+    """Build, run, and check one scenario.  Deterministic end to end."""
+    platform = _build_stack(scenario, fast_path)
+    platform.start()
+    net = platform.net
+
+    hosts = [net.hosts[n] for n in sorted(net.hosts)]
+    for a in hosts:
+        for b in hosts:
+            if a is not b:
+                a.add_static_arp(b.ip, b.mac)
+
+    if checker is None:
+        checker = NetworkChecker()
+    schedule = FaultSchedule(net)
+    mon: Optional[InvariantMonitor] = None
+    if monitor:
+        mon = InvariantMonitor(net, checker)
+        mon.attach(platform.controller)
+        mon.watch(schedule)
+
+    base = net.sim.now
+    _arm_faults(scenario, schedule, base)
+    for entry in scenario.workload:
+        src, dst = entry["src"], entry["dst"]
+        net.sim.schedule_at(
+            base + entry["at"],
+            lambda s=src, d=dst: net.hosts[s].send_udp(
+                net.hosts[d].ip, 5001, 5001, b"fuzz"
+            ),
+        )
+    platform.run(scenario.horizon())
+
+    final = checker.check(net)
+    return ScenarioResult(
+        scenario,
+        ok=final.ok,
+        verdicts=final.to_dict(),
+        observables=platform_observables(platform),
+        monitor_failures=[r.trigger for r in mon.failing_records()]
+        if mon is not None else [],
+        faults_fired=len(schedule.log),
+    )
+
+
+def result_digest(result: ScenarioResult) -> str:
+    """Stable digest of a run's full outcome (bit-identity checks)."""
+    blob = json.dumps(result.to_dict(), sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Fuzzing loop + repro files
+# ----------------------------------------------------------------------
+
+def fuzz(count: int, start_seed: int = 0, monitor: bool = False,
+         out_dir: Optional[str] = None,
+         on_result: Optional[Callable[[ScenarioResult], None]] = None
+         ) -> List[ScenarioResult]:
+    """Run ``count`` seeded scenarios; write a repro per failure."""
+    results: List[ScenarioResult] = []
+    for seed in range(start_seed, start_seed + count):
+        scenario = generate_scenario(seed)
+        result = run_scenario(scenario, monitor=monitor)
+        results.append(result)
+        if not result.ok and out_dir is not None:
+            minimized = minimize(scenario)
+            write_repro(f"{out_dir}/repro_seed{seed}.json",
+                        minimized, run_scenario(minimized))
+        if on_result is not None:
+            on_result(result)
+    return results
+
+
+def write_repro(path: str, scenario: Scenario,
+                result: ScenarioResult) -> None:
+    """A self-contained, replayable failure record."""
+    payload = {
+        "scenario": scenario.to_dict(),
+        "verdicts": result.verdicts,
+        "digest": result_digest(result),
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_scenario(path: str) -> Scenario:
+    with open(path) as fh:
+        payload = json.load(fh)
+    data = payload.get("scenario", payload)
+    return Scenario.from_dict(data)
+
+
+def replay(path: str, monitor: bool = False) -> ScenarioResult:
+    """Re-run a repro file's scenario from scratch."""
+    return run_scenario(load_scenario(path), monitor=monitor)
+
+
+def minimize(scenario: Scenario,
+             still_fails: Optional[Callable[[Scenario], bool]] = None
+             ) -> Scenario:
+    """Greedily shrink a failing scenario while it keeps failing.
+
+    Drops faults first (usually the interesting part is one injection),
+    then workload entries.  Deterministic; bounded by the scenario size.
+    """
+    if still_fails is None:
+        def still_fails(s: Scenario) -> bool:
+            return not run_scenario(s).ok
+
+    if not still_fails(scenario):
+        return scenario  # not failing: nothing to minimise
+    current = scenario
+    for attr in ("faults", "workload"):
+        index = 0
+        while index < len(getattr(current, attr)):
+            trimmed = Scenario.from_dict(current.to_dict())
+            del getattr(trimmed, attr)[index]
+            trimmed.name = f"{scenario.name}-min"
+            if still_fails(trimmed):
+                current = trimmed
+            else:
+                index += 1
+    return current
+
+
+def run_corpus(path: str) -> List[ScenarioResult]:
+    """Replay a committed corpus file ({"seeds": [...]}) and return the
+    per-seed results (all expected clean in CI)."""
+    with open(path) as fh:
+        corpus = json.load(fh)
+    results = []
+    for seed in corpus["seeds"]:
+        results.append(run_scenario(generate_scenario(seed)))
+    return results
+
+
+# ----------------------------------------------------------------------
+# The examples/ suite, as checkable scenarios
+# ----------------------------------------------------------------------
+
+def example_scenarios() -> List[Scenario]:
+    """Canned scenarios mirroring the shipped examples/ stacks.
+
+    Each must check clean — this is the CLI's ``check verify`` suite and
+    the CI smoke gate.
+    """
+    return [
+        Scenario(0, "quickstart", "single", 4, "reactive",
+                 workload=[{"src": "h1", "dst": "h2", "at": 0.5}]),
+        Scenario(0, "linear-reactive", "linear", 3, "reactive",
+                 workload=[{"src": "h1", "dst": "h3", "at": 0.5}]),
+        Scenario(0, "failover-ring", "ring", 4, "proactive",
+                 workload=[{"src": "h1", "dst": "h3", "at": 0.5}]),
+        Scenario(0, "datacenter-tree", "tree", 2, "proactive",
+                 workload=[{"src": "h1", "dst": "h2", "at": 0.5}]),
+        Scenario(0, "enterprise-policy", "star", 3, "bare",
+                 stack="policy",
+                 workload=[{"src": "h1", "dst": "h2", "at": 0.5}]),
+        Scenario(0, "multipath-fabric", "mesh", 4, "bare",
+                 stack="multipath",
+                 workload=[{"src": "h1", "dst": "h3", "at": 0.5}]),
+    ]

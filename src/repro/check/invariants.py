@@ -1,0 +1,423 @@
+"""The invariant catalogue and the checker that evaluates it.
+
+Every invariant follows the same discipline: symbolic exploration (or a
+concrete probe set) proposes *candidate* packet classes, a witness is
+materialised for each, and the witness is run through the concrete
+interpreter (:func:`repro.check.reach.trace_packet`).  Only behaviour
+the interpreter reproduces becomes a :class:`Violation` — so every
+violation ships a confirmed counterexample packet class, and a clean
+network can never be flagged (zero false positives by construction).
+
+Catalogue
+---------
+* :class:`NoForwardingLoops` — no packet class may revisit a pipeline
+  state (switch, ingress port, headers, TTL) it already traversed.
+* :class:`NoBlackholes` — a probe between every attached host pair must
+  not silently die in the dataplane (dead port/link, drop-miss, dead
+  fast-failover group, punt to a dead controller, TTL expiry).  This
+  doubles as the unreachable-host-pair detector.
+* :class:`SliceIsolation` — traffic between declared-isolated slices
+  must never be delivered across the boundary (opt-in: the caller
+  declares which slices are supposed to be isolated).
+* :class:`FirewallCompliance` — a packet the firewall's rule set denies
+  must not reach its destination through the dataplane (bypass
+  detection; opt-in with the Firewall app instance).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.dataplane.match import Match, FlowKey, VLAN_ABSENT
+from repro.netem.network import Network
+
+from repro.check.reach import (
+    ConcreteTrace,
+    PacketClass,
+    Terminal,
+    explore,
+    trace_packet,
+)
+from repro.check.snapshot import HostSnap, NetworkSnapshot
+
+__all__ = [
+    "Violation",
+    "CheckContext",
+    "CheckResult",
+    "Invariant",
+    "NoForwardingLoops",
+    "NoBlackholes",
+    "SliceIsolation",
+    "FirewallCompliance",
+    "NetworkChecker",
+    "DEFAULT_INVARIANTS",
+    "probe_key",
+]
+
+#: Synthetic probe transport: UDP on recognisable high ports.
+PROBE_PROTO = 17
+PROBE_L4_SRC = 4242
+PROBE_L4_DST = 4243
+
+
+def probe_key(src: HostSnap, dst: HostSnap) -> FlowKey:
+    """The canonical src→dst unicast probe packet."""
+    return FlowKey(
+        in_port=src.port,
+        eth_src=src.mac,
+        eth_dst=dst.mac,
+        eth_type=0x0800,
+        vlan_vid=VLAN_ABSENT,
+        ip_src=src.ip,
+        ip_dst=dst.ip,
+        ip_proto=PROBE_PROTO,
+        ip_dscp=0,
+        l4_src=PROBE_L4_SRC,
+        l4_dst=PROBE_L4_DST,
+    )
+
+
+class Violation:
+    """One confirmed invariant breach, with its counterexample."""
+
+    __slots__ = ("invariant", "kind", "message", "counterexample",
+                 "witness", "terminal", "time")
+
+    def __init__(self, invariant: str, kind: str, message: str,
+                 counterexample: PacketClass, witness: FlowKey,
+                 terminal: Optional[Terminal], time: float) -> None:
+        self.invariant = invariant
+        self.kind = kind
+        self.message = message
+        #: The symbolic packet class this violation holds for (at least
+        #: the witness member is machine-confirmed).
+        self.counterexample = counterexample
+        #: A concrete flow key reproducing the violation.
+        self.witness = witness
+        self.terminal = terminal
+        self.time = time
+
+    def to_dict(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "kind": self.kind,
+            "message": self.message,
+            "counterexample": self.counterexample.to_dict(),
+            "witness": {
+                k: str(v) for k, v in self.witness.as_dict().items()
+                if v is not None
+            },
+            "terminal": self.terminal.to_dict() if self.terminal else None,
+            "time": self.time,
+        }
+
+    def __repr__(self) -> str:
+        return f"<Violation {self.invariant}/{self.kind}: {self.message}>"
+
+
+class CheckContext:
+    """Shared state for one checker run: the snapshot plus a trace
+    cache so invariants never re-interpret the same witness twice."""
+
+    def __init__(self, snapshot: NetworkSnapshot) -> None:
+        self.snapshot = snapshot
+        self._traces: Dict[tuple, ConcreteTrace] = {}
+        self.probes_run = 0
+
+    def trace(self, switch: str, port: int, key: FlowKey) -> ConcreteTrace:
+        sig = (switch, port, hash(key))
+        cached = self._traces.get(sig)
+        if cached is not None and cached.key == key:
+            return cached
+        trace = trace_packet(self.snapshot, switch, port, key)
+        self._traces[sig] = trace
+        self.probes_run += 1
+        return trace
+
+    def attached_hosts(self) -> List[HostSnap]:
+        """Hosts whose access link is up, in deterministic order."""
+        snap = self.snapshot
+        return [snap.hosts[name] for name in sorted(snap.hosts)
+                if snap.hosts[name].link_up]
+
+
+class Invariant:
+    """Base class: a named predicate over a :class:`CheckContext`."""
+
+    name = "invariant"
+
+    def check(self, ctx: CheckContext) -> List[Violation]:
+        raise NotImplementedError
+
+
+class NoForwardingLoops(Invariant):
+    """No packet class entering at any edge port may loop."""
+
+    name = "no-forwarding-loops"
+
+    def __init__(self, max_classes_per_port: int = 256) -> None:
+        self.max_classes_per_port = max_classes_per_port
+
+    def check(self, ctx: CheckContext) -> List[Violation]:
+        snap = ctx.snapshot
+        violations: List[Violation] = []
+        reported: set = set()
+        for host in ctx.attached_hosts():
+            seed = PacketClass(Match(
+                in_port=host.port, eth_src=host.mac, ip_src=host.ip,
+            ))
+            candidates = explore(snap, host.switch, host.port, seed)
+            candidates = candidates[: self.max_classes_per_port]
+            seen_keys: set = set()
+            for cls in candidates:
+                witness = cls.witness()
+                if witness is None:
+                    continue
+                key_sig = hash(witness)
+                if key_sig in seen_keys:
+                    continue
+                seen_keys.add(key_sig)
+                trace = ctx.trace(host.switch, host.port, witness)
+                for term in trace.loops:
+                    dedupe = (term.switch, term.port,
+                              getattr(witness.eth_dst, "value",
+                                      witness.eth_dst))
+                    if dedupe in reported:
+                        continue
+                    reported.add(dedupe)
+                    cycle = " -> ".join(
+                        f"{s}:{p}" for s, p in term.path[-6:]
+                    )
+                    violations.append(Violation(
+                        self.name, "loop",
+                        f"forwarding loop via {term.switch} "
+                        f"(tail: {cycle})",
+                        cls, witness, term, snap.time,
+                    ))
+        return violations
+
+
+class NoBlackholes(Invariant):
+    """Probes between every attached host pair must not silently die.
+
+    A pair passes when its probe is delivered to the destination, punted
+    to a live controller (reactive setups), or explicitly dropped by
+    policy.  It fails when no delivery happened *and* some copy died in
+    a blackhole — which also makes this the unreachable-pair detector.
+    """
+
+    name = "no-blackholes"
+
+    def check(self, ctx: CheckContext) -> List[Violation]:
+        snap = ctx.snapshot
+        violations: List[Violation] = []
+        hosts = ctx.attached_hosts()
+        for src in hosts:
+            for dst in hosts:
+                if src.name == dst.name:
+                    continue
+                key = probe_key(src, dst)
+                trace = ctx.trace(src.switch, src.port, key)
+                if trace.delivered_to(dst.name):
+                    continue
+                holes = trace.blackholes
+                if not holes:
+                    continue  # punted / policy-dropped: intended
+                term = holes[0]
+                cls = PacketClass(Match(
+                    in_port=src.port, eth_src=src.mac, eth_dst=dst.mac,
+                    eth_type=0x0800, ip_src=src.ip, ip_dst=dst.ip,
+                ))
+                violations.append(Violation(
+                    self.name, term.kind,
+                    f"traffic {src.name} -> {dst.name} dies at "
+                    f"{term.switch} ({term.kind}: {term.detail})",
+                    cls, key, term, snap.time,
+                ))
+        return violations
+
+
+class SliceIsolation(Invariant):
+    """Declared-isolated slices must not exchange dataplane traffic.
+
+    ``slices`` maps slice name → member host names.  Only cross-slice
+    pairs are probed; a delivery across the boundary is a leak.
+    """
+
+    name = "slice-isolation"
+
+    def __init__(self, slices: Dict[str, Iterable[str]]) -> None:
+        self.slices = {name: sorted(members)
+                       for name, members in sorted(slices.items())}
+
+    def check(self, ctx: CheckContext) -> List[Violation]:
+        snap = ctx.snapshot
+        violations: List[Violation] = []
+        owner: Dict[str, str] = {}
+        for slice_name, members in self.slices.items():
+            for host in members:
+                owner[host] = slice_name
+        hosts = [h for h in ctx.attached_hosts() if h.name in owner]
+        for src in hosts:
+            for dst in hosts:
+                if src.name == dst.name:
+                    continue
+                if owner[src.name] == owner[dst.name]:
+                    continue
+                key = probe_key(src, dst)
+                trace = ctx.trace(src.switch, src.port, key)
+                if not trace.delivered_to(dst.name):
+                    continue
+                cls = PacketClass(Match(
+                    in_port=src.port, eth_src=src.mac, eth_dst=dst.mac,
+                    eth_type=0x0800, ip_src=src.ip, ip_dst=dst.ip,
+                ))
+                term = next(
+                    (t for t in trace.terminals
+                     if t.kind == "delivered" and t.host == dst.name),
+                    None,
+                )
+                violations.append(Violation(
+                    self.name, "slice_leak",
+                    f"slice {owner[src.name]!r} host {src.name} reaches "
+                    f"slice {owner[dst.name]!r} host {dst.name}",
+                    cls, key, term, snap.time,
+                ))
+        return violations
+
+
+class FirewallCompliance(Invariant):
+    """The dataplane must enforce the firewall's intent: any key the
+    rule set denies must never be delivered end-to-end."""
+
+    name = "firewall-compliance"
+
+    #: Per-rule fields lifted onto the base probe to exercise the rule.
+    _LIFT_FIELDS = ("eth_type", "vlan_vid", "ip_proto", "ip_dscp",
+                    "l4_src", "l4_dst")
+
+    def __init__(self, firewall) -> None:
+        self.firewall = firewall
+
+    def _probe_keys(self, src: HostSnap, dst: HostSnap) -> List[FlowKey]:
+        base = probe_key(src, dst)
+        keys = [base]
+        seen = {hash(base)}
+        for rule_id in sorted(self.firewall.rules):
+            rule = self.firewall.rules[rule_id]
+            fields = base.as_dict()
+            for name in self._LIFT_FIELDS:
+                value = rule.match.get(name)
+                if value is not None and not isinstance(value, Match):
+                    fields[name] = value
+            candidate = FlowKey(**fields)
+            if hash(candidate) not in seen:
+                seen.add(hash(candidate))
+                keys.append(candidate)
+        return keys
+
+    def check(self, ctx: CheckContext) -> List[Violation]:
+        snap = ctx.snapshot
+        violations: List[Violation] = []
+        hosts = ctx.attached_hosts()
+        for src in hosts:
+            for dst in hosts:
+                if src.name == dst.name:
+                    continue
+                for key in self._probe_keys(src, dst):
+                    if self.firewall.evaluate(key):
+                        continue  # allowed: nothing to enforce
+                    trace = ctx.trace(src.switch, src.port, key)
+                    if not trace.delivered_to(dst.name):
+                        continue
+                    cls = PacketClass(Match(**{
+                        k: v for k, v in key.as_dict().items()
+                        if v is not None
+                    }))
+                    violations.append(Violation(
+                        self.name, "firewall_bypass",
+                        f"denied traffic {src.name} -> {dst.name} "
+                        f"delivered despite ACL",
+                        cls, key, None, snap.time,
+                    ))
+        return violations
+
+
+class CheckResult:
+    """The outcome of one checker run over one snapshot."""
+
+    __slots__ = ("snapshot", "violations", "invariants", "probes_run")
+
+    def __init__(self, snapshot: NetworkSnapshot,
+                 violations: List[Violation],
+                 invariants: Tuple[str, ...], probes_run: int) -> None:
+        self.snapshot = snapshot
+        self.violations = violations
+        self.invariants = invariants
+        self.probes_run = probes_run
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def of_kind(self, kind: str) -> List[Violation]:
+        """All violations of one kind."""
+        return [v for v in self.violations if v.kind == kind]
+
+    def by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for v in self.violations:
+            counts[v.kind] = counts.get(v.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.snapshot.time,
+            "ok": self.ok,
+            "invariants": list(self.invariants),
+            "probes_run": self.probes_run,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def summary(self) -> str:
+        if self.ok:
+            return (f"OK: {len(self.invariants)} invariants, "
+                    f"{self.probes_run} probes, 0 violations")
+        kinds = ", ".join(f"{k}×{n}" for k, n in self.by_kind().items())
+        return (f"FAIL: {len(self.violations)} violation(s) [{kinds}] "
+                f"over {self.probes_run} probes")
+
+    def __repr__(self) -> str:
+        return f"<CheckResult {self.summary()}>"
+
+
+def DEFAULT_INVARIANTS() -> List[Invariant]:
+    """The always-applicable invariant set (loop + blackhole freedom)."""
+    return [NoForwardingLoops(), NoBlackholes()]
+
+
+class NetworkChecker:
+    """Evaluates an invariant set against a network or a snapshot."""
+
+    def __init__(self,
+                 invariants: Optional[List[Invariant]] = None) -> None:
+        self.invariants = (list(invariants) if invariants is not None
+                           else DEFAULT_INVARIANTS())
+
+    def add(self, invariant: Invariant) -> "NetworkChecker":
+        self.invariants.append(invariant)
+        return self
+
+    def check(self, net: Network) -> CheckResult:
+        """Snapshot ``net`` and evaluate every invariant.  Pure read."""
+        return self.check_snapshot(NetworkSnapshot.capture(net))
+
+    def check_snapshot(self, snapshot: NetworkSnapshot) -> CheckResult:
+        ctx = CheckContext(snapshot)
+        violations: List[Violation] = []
+        for invariant in self.invariants:
+            violations.extend(invariant.check(ctx))
+        return CheckResult(
+            snapshot, violations,
+            tuple(i.name for i in self.invariants), ctx.probes_run,
+        )

@@ -42,6 +42,9 @@ _EXPERIMENTS = [
     ("E9", "Table 5", "control-channel overhead by app design"),
     ("E10", "Figure 5", "slice isolation vs a hostile tenant"),
     ("E11", "Figure 6", "failover under control-channel churn"),
+    ("E12", "—", "datapath fast-path throughput vs semantic drift"),
+    ("E13", "—", "invariant checker: seeded-bug recall and "
+     "clean-network precision"),
     ("A1", "ablation", "reactive setup cost vs controller latency"),
     ("A2", "ablation", "microflow rules under table pressure (LRU)"),
 ]
@@ -213,6 +216,82 @@ def _cmd_faults(args) -> int:
     return 0 if after == 1.0 and before == 1.0 else 1
 
 
+def _cmd_check(args) -> int:
+    from repro.check import (
+        example_scenarios,
+        fuzz,
+        generate_scenario,
+        replay,
+        result_digest,
+        run_scenario,
+    )
+
+    if args.mode == "verify":
+        failures = 0
+        for scenario in example_scenarios():
+            result = run_scenario(scenario)
+            verdict = "clean" if result.ok else "VIOLATIONS"
+            print(f"{scenario.name:20s} {verdict:10s} "
+                  f"({result.verdicts['probes_run']} probes)")
+            if not result.ok:
+                failures += 1
+                for violation in result.verdicts["violations"][:5]:
+                    print(f"  {violation['invariant']}: "
+                          f"{violation['message']}")
+        print(f"\n{failures} of {len(example_scenarios())} scenarios "
+              f"failed invariant checking")
+        return 1 if failures else 0
+
+    if args.mode == "replay":
+        if not args.path:
+            raise SystemExit("replay needs --path <repro or corpus file>")
+        import json as _json
+
+        with open(args.path) as fh:
+            payload = _json.load(fh)
+        if "seeds" in payload:  # a corpus file
+            failures = 0
+            for seed in payload["seeds"]:
+                result = run_scenario(generate_scenario(seed),
+                                      monitor=args.monitor)
+                verdict = "clean" if result.ok else "VIOLATIONS"
+                print(f"seed {seed:6d} {verdict}")
+                failures += 0 if result.ok else 1
+            return 1 if failures else 0
+        result = replay(args.path, monitor=args.monitor)
+        print(f"replayed {result.scenario.name}: "
+              f"{'clean' if result.ok else 'VIOLATIONS'} "
+              f"(digest {result_digest(result)[:16]})")
+        expected = payload.get("digest")
+        if expected and expected != result_digest(result):
+            print("WARNING: digest drift vs the recorded run")
+            return 1
+        return 0 if result.ok else 1
+
+    # fuzz
+    out_dir = args.out or "."
+    failed = []
+
+    def report(result) -> None:
+        s = result.scenario
+        verdict = "clean" if result.ok else "VIOLATIONS"
+        transients = (f", {len(result.monitor_failures)} transient"
+                      if result.monitor_failures else "")
+        print(f"seed {s.seed:6d} {s.topology}({s.size})/{s.profile} "
+              f"{len(s.faults)} fault(s): {verdict}{transients}")
+        if not result.ok:
+            failed.append(s.seed)
+
+    fuzz(args.seeds, start_seed=args.start, monitor=args.monitor,
+         out_dir=out_dir, on_result=report)
+    if failed:
+        print(f"\n{len(failed)} failing seed(s): {failed}; "
+              f"repro files in {out_dir}")
+        return 1
+    print(f"\nall {args.seeds} seeds checked clean")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     table = Table("Experiment suite (see DESIGN.md / EXPERIMENTS.md)",
                   ["id", "artifact", "question"])
@@ -300,6 +379,26 @@ def _parser() -> argparse.ArgumentParser:
                      help="include the wall-clock app profile "
                           "(non-deterministic across runs)")
     tel.set_defaults(fn=_cmd_telemetry)
+
+    chk = sub.add_parser(
+        "check",
+        help="verify network invariants / fuzz seeded scenarios",
+    )
+    chk.add_argument("mode", choices=("verify", "fuzz", "replay"),
+                     help="verify: run the canned example scenarios; "
+                          "fuzz: generate and check seeded scenarios; "
+                          "replay: re-run a repro or corpus file")
+    chk.add_argument("--seeds", type=int, default=10,
+                     help="number of fuzz seeds to run")
+    chk.add_argument("--start", type=int, default=0,
+                     help="first fuzz seed")
+    chk.add_argument("--monitor", action="store_true",
+                     help="also run the online invariant monitor")
+    chk.add_argument("--out", default="",
+                     help="directory for failure repro files")
+    chk.add_argument("--path", default="",
+                     help="repro or corpus file for replay mode")
+    chk.set_defaults(fn=_cmd_check)
     return parser
 
 

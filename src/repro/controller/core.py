@@ -23,6 +23,7 @@ from repro.controller.events import (
     FlowRemovedEvent,
     PacketInEvent,
     PortStatusEvent,
+    ResyncDone,
     SwitchEnter,
     SwitchLeave,
 )
@@ -549,6 +550,7 @@ class Controller:
             self._m_resyncs.inc()
             self._m_resync_flows.labels("reinstalled").inc(reinstalled)
             self._m_resync_flows.labels("deleted").inc(deleted)
+        self.publish(ResyncDone(handle, reinstalled, deleted))
 
     # ------------------------------------------------------------------
     # Intent ledger

@@ -19,6 +19,7 @@ __all__ = [
     "Event",
     "SwitchEnter",
     "SwitchLeave",
+    "ResyncDone",
     "PacketInEvent",
     "FlowRemovedEvent",
     "PortStatusEvent",
@@ -54,6 +55,22 @@ class SwitchLeave(Event):
 
     def __init__(self, dpid: int) -> None:
         self.dpid = dpid
+
+
+class ResyncDone(Event):
+    """A reconnect reconciliation finished for one switch.
+
+    Published after the controller has reinstalled every intended flow
+    missing from the switch and strict-deleted the unintended ones —
+    the moment the dataplane is supposed to be consistent again, which
+    makes it a natural trigger for invariant re-checking.
+    """
+
+    def __init__(self, switch: "SwitchHandle", reinstalled: int,
+                 deleted: int) -> None:
+        self.switch = switch
+        self.reinstalled = reinstalled
+        self.deleted = deleted
 
 
 class PacketInEvent(Event):

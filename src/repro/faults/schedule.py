@@ -15,7 +15,7 @@ a stale dpid.  What the schedule *does* keep is an execution log
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.errors import TopologyError
 from repro.netem.network import Network
@@ -58,6 +58,11 @@ class FaultSchedule:
         self.sim = net.sim
         self.log: List[FaultEvent] = []
         self.injected = 0
+        #: Post-fire hook: called with the :class:`FaultEvent` after the
+        #: injection's action ran.  The invariant monitor uses this to
+        #: audit the dataplane at the exact injection instant — before
+        #: any control-plane reaction has been processed.
+        self.on_fire: Optional[Callable[[FaultEvent], None]] = None
         tel = telemetry if telemetry is not None else net.telemetry
         self._tracer = None
         self._m_faults = None
@@ -166,7 +171,8 @@ class FaultSchedule:
         self.sim.schedule_at(at, self._fire, kind, target, action)
 
     def _fire(self, kind: str, target: str, action) -> None:
-        self.log.append(FaultEvent(self.sim.now, kind, target))
+        event = FaultEvent(self.sim.now, kind, target)
+        self.log.append(event)
         self.injected += 1
         if self._m_faults is not None:
             self._m_faults.labels(kind).inc()
@@ -175,6 +181,8 @@ class FaultSchedule:
             self._tracer.record(tid, f"fault.{kind}", "fault",
                                 target=target)
         action()
+        if self.on_fire is not None:
+            self.on_fire(event)
 
     def events(self, kind: Optional[str] = None) -> List[FaultEvent]:
         """Executed injections so far, optionally filtered by kind."""

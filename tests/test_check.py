@@ -1,0 +1,235 @@
+"""repro.check: invariant checker, fuzzer determinism, and purity.
+
+Four families:
+
+* seeded violations — networks programmed with a deliberate forwarding
+  loop, blackhole, slice leak, or firewall bypass are caught, each with
+  a concrete counterexample packet class;
+* clean bills of health — every canned example scenario checks clean
+  (the checker's zero-false-positive obligation);
+* fuzzer determinism — same seed, bit-identical scenario and outcome;
+* purity — snapshotting and checking never perturb the network
+  (counters, flow state, kernel event count all untouched).
+"""
+
+import json
+
+import pytest
+
+from repro.core import ZenPlatform
+from repro.dataplane import Match
+from repro.dataplane.actions import Output
+from repro.dataplane.flowtable import FlowEntry
+from repro.netem import Topology
+from repro.packet import MACAddress
+
+from repro.check import (
+    BLACKHOLE_KINDS,
+    FirewallCompliance,
+    NetworkChecker,
+    NetworkSnapshot,
+    Scenario,
+    SliceIsolation,
+    example_scenarios,
+    generate_scenario,
+    load_scenario,
+    minimize,
+    result_digest,
+    run_scenario,
+    write_repro,
+)
+
+
+def _bare_ring(n=3, seed=1):
+    return ZenPlatform(
+        Topology.ring(n, hosts_per_switch=1), profile="bare", seed=seed
+    ).start()
+
+
+def _install(net, switch, match, out_port, priority=500):
+    net.switches[switch].install_flow(
+        FlowEntry(match, [Output(out_port)], priority=priority)
+    )
+
+
+# ----------------------------------------------------------------------
+# Seeded violations: the checker must find what we planted
+# ----------------------------------------------------------------------
+class TestSeededViolations:
+    def test_detects_forwarding_loop(self):
+        net = _bare_ring().net
+        mac = MACAddress("02:aa:00:00:00:99")
+        for a, b in (("s1", "s2"), ("s2", "s3"), ("s3", "s1")):
+            _install(net, a, Match(eth_dst=mac), net.port_of(a, b))
+        result = NetworkChecker().check(net)
+        assert not result.ok
+        loops = result.of_kind("loop")
+        assert loops
+        for violation in loops:
+            # Every loop report carries a replayable counterexample:
+            # a packet class plus a concrete witness key in it.
+            assert violation.counterexample is not None
+            assert violation.witness is not None
+            assert violation.witness.eth_dst == mac
+            assert violation.counterexample.contains(violation.witness)
+
+    def test_detects_blackhole_dead_port(self):
+        platform = _bare_ring()
+        net = platform.net
+        h2 = net.hosts["h2"]
+        _install(net, "s1", Match(eth_dst=h2.mac), net.port_of("s1", "s2"))
+        net.fail_link("s1", "s2")
+        result = NetworkChecker().check(net)
+        assert not result.ok
+        holes = [v for v in result.violations
+                 if v.kind in BLACKHOLE_KINDS]
+        assert holes
+        v = holes[0]
+        assert v.kind == "dead_port"
+        assert "h1" in v.message and "h2" in v.message
+        assert v.counterexample is not None
+        assert v.counterexample.contains(v.witness)
+
+    def test_detects_slice_leak(self):
+        net = _bare_ring().net
+        h3 = net.hosts["h3"]
+        _install(net, "s1", Match(eth_dst=h3.mac), net.port_of("s1", "s3"))
+        _install(net, "s3", Match(eth_dst=h3.mac), net.port_of("s3", "h3"))
+        checker = NetworkChecker(
+            [SliceIsolation({"blue": ["h1"], "red": ["h3"]})]
+        )
+        result = checker.check(net)
+        leaks = result.of_kind("slice_leak")
+        assert leaks
+        assert "blue" in leaks[0].message and "red" in leaks[0].message
+        assert leaks[0].counterexample is not None
+
+    def test_detects_firewall_bypass(self):
+        from repro.apps.firewall import Firewall
+
+        platform = _bare_ring()
+        firewall = platform.add_app(Firewall(table_id=1, next_table=2))
+        firewall.deny(ip_proto=17)  # policy says: no UDP anywhere
+        net = platform.net
+        h2 = net.hosts["h2"]
+        # ...but someone programmed table 0 to deliver around it.
+        _install(net, "s1", Match(eth_dst=h2.mac), net.port_of("s1", "s2"))
+        _install(net, "s2", Match(eth_dst=h2.mac), net.port_of("s2", "h2"))
+        result = NetworkChecker([FirewallCompliance(firewall)]).check(net)
+        bypasses = result.of_kind("firewall_bypass")
+        assert bypasses
+        assert bypasses[0].counterexample is not None
+
+    def test_clean_network_reports_no_violations(self):
+        net = _bare_ring().net
+        assert NetworkChecker().check(net).ok
+
+
+# ----------------------------------------------------------------------
+# Zero false positives on the shipped example stacks
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "scenario", example_scenarios(), ids=lambda s: s.name
+)
+def test_example_scenario_checks_clean(scenario):
+    result = run_scenario(scenario)
+    assert result.ok, result.verdicts["violations"]
+    assert result.verdicts["probes_run"] > 0
+
+
+# ----------------------------------------------------------------------
+# Fuzzer determinism
+# ----------------------------------------------------------------------
+class TestFuzzerDeterminism:
+    def test_generation_is_pure(self):
+        assert (generate_scenario(7).to_dict()
+                == generate_scenario(7).to_dict())
+        assert (generate_scenario(3).to_dict()
+                != generate_scenario(4).to_dict())
+
+    def test_scenario_dict_roundtrip(self):
+        scenario = generate_scenario(11)
+        assert (Scenario.from_dict(scenario.to_dict()).to_dict()
+                == scenario.to_dict())
+
+    def test_same_seed_is_bit_identical(self):
+        scenario = generate_scenario(1)  # ring/reactive with faults
+        assert scenario.faults  # the interesting case
+        first = run_scenario(scenario, monitor=True)
+        second = run_scenario(scenario, monitor=True)
+        assert result_digest(first) == result_digest(second)
+        assert first.observables == second.observables
+
+    def test_repro_file_roundtrip(self, tmp_path):
+        scenario = generate_scenario(2)
+        result = run_scenario(scenario)
+        path = tmp_path / "repro.json"
+        write_repro(str(path), scenario, result)
+        payload = json.loads(path.read_text())
+        assert payload["digest"] == result_digest(result)
+        replayed = run_scenario(load_scenario(str(path)))
+        assert result_digest(replayed) == payload["digest"]
+
+    def test_minimize_drops_irrelevant_parts(self):
+        scenario = generate_scenario(1)
+        assert len(scenario.faults) > 1
+        culprit = scenario.faults[-1]
+
+        def still_fails(s):
+            return culprit in s.faults
+
+        small = minimize(scenario, still_fails=still_fails)
+        assert small.faults == [culprit]
+        assert small.workload == []
+
+    def test_committed_corpus_replays_clean(self):
+        from pathlib import Path
+
+        corpus_path = Path(__file__).parent / "data" / "fuzz_corpus.json"
+        corpus = json.loads(corpus_path.read_text())
+        for seed in corpus["seeds"]:
+            result = run_scenario(generate_scenario(seed))
+            assert result.ok, (seed, result.verdicts["violations"])
+
+
+# ----------------------------------------------------------------------
+# Purity: checking must never perturb the network
+# ----------------------------------------------------------------------
+class TestPurity:
+    def test_snapshot_leaves_counters_untouched(self):
+        platform = _bare_ring()
+        net = platform.net
+        h2 = net.hosts["h2"]
+        _install(net, "s1", Match(eth_dst=h2.mac),
+                 net.port_of("s1", "s2"))
+        before = {
+            "stats": {n: net.switches[n].stats() for n in net.switches},
+            "lookups": {
+                n: [t.lookup_count for t in net.switches[n].tables]
+                for n in net.switches
+            },
+            "events": net.sim.events_processed,
+        }
+        NetworkSnapshot.capture(net)
+        NetworkChecker().check(net)
+        after = {
+            "stats": {n: net.switches[n].stats() for n in net.switches},
+            "lookups": {
+                n: [t.lookup_count for t in net.switches[n].tables]
+                for n in net.switches
+            },
+            "events": net.sim.events_processed,
+        }
+        assert before == after
+
+    def test_monitor_does_not_perturb_the_run(self):
+        # Same seed, faults firing, monitor on vs off: every observable
+        # — including the kernel's event count — must be bit-identical.
+        scenario = generate_scenario(1)
+        assert scenario.faults
+        off = run_scenario(scenario, monitor=False)
+        on = run_scenario(scenario, monitor=True)
+        assert on.observables == off.observables
+        assert on.verdicts == off.verdicts
+        # The monitor did actually run and see the transient failures.
+        assert on.monitor_failures

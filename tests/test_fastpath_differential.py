@@ -248,3 +248,19 @@ def test_fast_path_stats_shape():
 
     disabled = Datapath(2, sim, fast_path=False)
     assert disabled.fast_path_stats()["enabled"] is False
+
+
+# ----------------------------------------------------------------------
+# Scenario 4: checker differential — the microflow cache must not change
+# a single verdict, counterexample, or observable on fuzzed scenarios
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 1, 5])
+def test_check_verdicts_differential(seed):
+    from repro.check import generate_scenario, run_scenario
+
+    scenario = generate_scenario(seed)
+    off = run_scenario(scenario, fast_path=False, monitor=True)
+    on = run_scenario(scenario, fast_path=True, monitor=True)
+    assert on.verdicts == off.verdicts
+    assert on.monitor_failures == off.monitor_failures
+    assert on.to_dict() == off.to_dict()

@@ -177,6 +177,37 @@ class TestMatchAlgebra:
         assert m.intersect(Match()) == m
         assert Match().intersect(m) == m
 
+    # -- the laws the repro.check reachability engine leans on ---------
+    @given(a=matches(), b=matches(), key=keys())
+    def test_intersect_matches_key_iff_both_match(self, a, b, key):
+        # Full biconditional: the intersection's matched set is exactly
+        # the conjunction of the operands' matched sets (and a None
+        # intersection means that conjunction is empty).
+        both = a.intersect(b)
+        lhs = both is not None and both.matches(key)
+        rhs = a.matches(key) and b.matches(key)
+        assert lhs == rhs
+
+    @given(a=matches(), b=matches())
+    def test_overlaps_iff_intersection_nonempty(self, a, b):
+        assert a.overlaps(b) == (a.intersect(b) is not None)
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(a=matches(), b=matches())
+    def test_intersection_is_a_lower_bound(self, a, b):
+        both = a.intersect(b)
+        if both is not None:
+            assert both.is_subset_of(a)
+            assert both.is_subset_of(b)
+
+    @given(a=matches(), b=matches(), c=matches(), key=keys())
+    def test_subset_is_a_preorder(self, a, b, c, key):
+        assert a.is_subset_of(a)
+        if a.is_subset_of(b) and b.is_subset_of(c):
+            assert a.is_subset_of(c)
+            if a.matches(key):
+                assert c.matches(key)
+
 
 # ----------------------------------------------------------------------
 # Policy compiler soundness
