@@ -1,15 +1,18 @@
-"""CI gate: fail the build when the datapath fast path regresses.
+"""CI gate: fail the build when a measured contract regresses.
 
-Absolute packets-per-wall-second numbers are machine-dependent, so the
-gate compares the *speedup ratio* (fast path on / off from the very
-same run), which normalises machine speed out.  Two conditions fail
-the build:
+Absolute wall-clock numbers are machine-dependent, so every gate
+compares a machine-normalised quantity from one and the same run:
 
-* the current speedup dropped more than ``TOLERANCE`` relative to the
-  committed baseline (``benchmarks/baseline_e12.json``), or
-* the current speedup is below the hard floor of 2x that E12 promises.
+* **E12 (fast path)** — the speedup ratio (fast path on / off).  Fails
+  when it drops more than ``TOLERANCE`` below the committed baseline
+  (``benchmarks/baseline_e12.json``) or under the hard 2x floor.
+* **E14 (obs plane)** — the scrape-overhead percentage (obs on vs off,
+  same seed, min of reps) and the bit-identity verdict.  Fails when
+  overhead reaches ``E14_MAX_OVERHEAD_PCT`` or the seeded run was
+  perturbed.  Gated only when ``BENCH_E14.json`` is present, so the
+  fast-path gate keeps working on partial benchmark runs.
 
-Usage (after the benchmark smoke run has written ``BENCH_E12.json``)::
+Usage (after the benchmark smoke run has written the BENCH files)::
 
     python benchmarks/check_regression.py [path/to/BENCH_E12.json]
 """
@@ -26,6 +29,32 @@ DEFAULT_CURRENT = os.path.join(os.path.dirname(HERE), "BENCH_E12.json")
 
 TOLERANCE = 0.30   # >30% speedup regression vs baseline fails
 HARD_FLOOR = 2.0   # E12's contract, machine-independent
+
+E14_CURRENT = os.path.join(os.path.dirname(HERE), "BENCH_E14.json")
+E14_MAX_OVERHEAD_PCT = 5.0   # E14's contract: scrapes cost < 5% wall
+
+
+def check_e14() -> int:
+    """Gate the obs plane when its benchmark ran; 0 = pass."""
+    if not os.path.exists(E14_CURRENT):
+        print("obs gate: BENCH_E14.json absent, skipping")
+        return 0
+    with open(E14_CURRENT) as fh:
+        current = json.load(fh)
+    overhead = current["overhead_pct"]
+    identical = current["identical"]
+    print(f"obs plane: scrape overhead {overhead:.2f}% "
+          f"(budget {E14_MAX_OVERHEAD_PCT:.1f}%), "
+          f"bit-identical={identical}")
+    if not identical:
+        print("FAIL: obs plane perturbed the seeded run")
+        return 1
+    if overhead >= E14_MAX_OVERHEAD_PCT:
+        print(f"FAIL: obs scrape overhead {overhead:.2f}% at or above "
+              f"{E14_MAX_OVERHEAD_PCT:.1f}%")
+        return 1
+    print("OK: obs plane within budget")
+    return 0
 
 
 def main(argv) -> int:
@@ -55,7 +84,7 @@ def main(argv) -> int:
               f"{TOLERANCE:.0%} from baseline {base_speedup:.2f}x")
         return 1
     print("OK: fast path within budget")
-    return 0
+    return check_e14()
 
 
 if __name__ == "__main__":

@@ -123,11 +123,11 @@ class ScenarioResult:
     """Outcome of one scenario run."""
 
     __slots__ = ("scenario", "ok", "verdicts", "observables",
-                 "monitor_failures", "faults_fired")
+                 "monitor_failures", "faults_fired", "obs")
 
     def __init__(self, scenario: Scenario, ok: bool, verdicts: dict,
                  observables: dict, monitor_failures: List[str],
-                 faults_fired: int) -> None:
+                 faults_fired: int, obs=None) -> None:
         self.scenario = scenario
         self.ok = ok
         self.verdicts = verdicts
@@ -136,6 +136,10 @@ class ScenarioResult:
         #: (transient failures; informational, not the pass criterion).
         self.monitor_failures = monitor_failures
         self.faults_fired = faults_fired
+        #: The attached :class:`~repro.obs.ObsPlane`, when the scenario
+        #: ran with ``obs=True``.  Excluded from :meth:`to_dict` so
+        #: digests compare the *simulation*, never the observer.
+        self.obs = obs
 
     def to_dict(self) -> dict:
         return {
@@ -219,18 +223,21 @@ def _build_topology(kind: str, size: int):
 # Execution
 # ----------------------------------------------------------------------
 
-def _build_stack(scenario: Scenario, fast_path: bool) -> ZenPlatform:
+def _build_stack(scenario: Scenario, fast_path: bool,
+                 telemetry=None) -> ZenPlatform:
     topo = _build_topology(scenario.topology, scenario.size)
     if scenario.stack == "plain":
         return ZenPlatform(topo, profile=scenario.profile,
-                           seed=scenario.seed, fast_path=fast_path)
+                           seed=scenario.seed, fast_path=fast_path,
+                           telemetry=telemetry)
     if scenario.stack == "policy":
         from repro.apps.firewall import Firewall
         from repro.apps.proactive_router import ProactiveRouter
         from repro.apps.slicing import NetworkSlicing
 
         platform = ZenPlatform(topo, profile="bare",
-                               seed=scenario.seed, fast_path=fast_path)
+                               seed=scenario.seed, fast_path=fast_path,
+                               telemetry=telemetry)
         slicing = platform.add_app(
             NetworkSlicing(table_id=0, next_table=1)
         )
@@ -250,7 +257,8 @@ def _build_stack(scenario: Scenario, fast_path: bool) -> ZenPlatform:
         from repro.apps import MultipathRouter
 
         platform = ZenPlatform(topo, profile="bare",
-                               seed=scenario.seed, fast_path=fast_path)
+                               seed=scenario.seed, fast_path=fast_path,
+                               telemetry=telemetry)
         platform.router = platform.add_app(MultipathRouter(max_paths=2))
         return platform
     raise ValueError(f"unknown stack {scenario.stack!r}")
@@ -313,10 +321,23 @@ def platform_observables(platform: ZenPlatform) -> dict:
 
 def run_scenario(scenario: Scenario, fast_path: bool = True,
                  monitor: bool = False,
-                 checker: Optional[NetworkChecker] = None
-                 ) -> ScenarioResult:
-    """Build, run, and check one scenario.  Deterministic end to end."""
-    platform = _build_stack(scenario, fast_path)
+                 checker: Optional[NetworkChecker] = None,
+                 telemetry: bool = False, obs: bool = False,
+                 obs_interval: float = 0.05) -> ScenarioResult:
+    """Build, run, and check one scenario.  Deterministic end to end.
+
+    ``telemetry=True`` runs with the metrics plane enabled;
+    ``obs=True`` additionally attaches a full
+    :class:`~repro.obs.ObsPlane` (implies telemetry) whose scraper,
+    SLOs, and annotations must leave the observables bit-identical —
+    the invariant ``tests/test_obs.py`` checks over the fuzz corpus.
+    """
+    tel = None
+    if telemetry or obs:
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry(profile=False)
+    platform = _build_stack(scenario, fast_path, telemetry=tel)
     platform.start()
     net = platform.net
 
@@ -335,6 +356,15 @@ def run_scenario(scenario: Scenario, fast_path: bool = True,
         mon.attach(platform.controller)
         mon.watch(schedule)
 
+    plane = None
+    if obs:
+        from repro.obs import ObsPlane
+
+        plane = ObsPlane(platform, interval=obs_interval)
+        plane.watch_faults(schedule)
+        if mon is not None:
+            plane.watch_monitor(mon)
+
     base = net.sim.now
     _arm_faults(scenario, schedule, base)
     for entry in scenario.workload:
@@ -346,6 +376,8 @@ def run_scenario(scenario: Scenario, fast_path: bool = True,
             ),
         )
     platform.run(scenario.horizon())
+    if plane is not None:
+        plane.finish()
 
     final = checker.check(net)
     return ScenarioResult(
@@ -356,6 +388,7 @@ def run_scenario(scenario: Scenario, fast_path: bool = True,
         monitor_failures=[r.trigger for r in mon.failing_records()]
         if mon is not None else [],
         faults_fired=len(schedule.log),
+        obs=plane,
     )
 
 

@@ -18,7 +18,7 @@ post-mortem.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.controller.events import ResyncDone, SwitchEnter
 from repro.netem.network import Network
@@ -67,6 +67,10 @@ class InvariantMonitor:
         self.records: List[CheckRecord] = []
         self.checks_run = 0
         self.violations_seen = 0
+        #: Called with each new :class:`CheckRecord` (after it is
+        #: appended).  ``repro.obs`` uses this to annotate violations
+        #: on the run timeline; hooks must be pure reads.
+        self.on_record: Optional[Callable[[CheckRecord], None]] = None
         tel = net.telemetry
         if tel is not None and tel.enabled:
             self._m_checks = tel.metrics.counter(
@@ -128,11 +132,12 @@ class InvariantMonitor:
             self._m_checks.labels(trigger.split(":", 1)[0]).inc()
             for violation in result.violations:
                 self._m_violations.labels(violation.invariant).inc()
-        self.records.append(
-            CheckRecord(self.net.sim.now, trigger, result)
-        )
+        record = CheckRecord(self.net.sim.now, trigger, result)
+        self.records.append(record)
         if len(self.records) > self.max_records:
             del self.records[: len(self.records) - self.max_records]
+        if self.on_record is not None:
+            self.on_record(record)
         return result
 
     # ------------------------------------------------------------------

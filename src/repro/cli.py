@@ -45,6 +45,8 @@ _EXPERIMENTS = [
     ("E12", "—", "datapath fast-path throughput vs semantic drift"),
     ("E13", "—", "invariant checker: seeded-bug recall and "
      "clean-network precision"),
+    ("E14", "—", "obs plane: scrape overhead, health under churn, "
+     "run-to-run diff"),
     ("A1", "ablation", "reactive setup cost vs controller latency"),
     ("A2", "ablation", "microflow rules under table pressure (LRU)"),
 ]
@@ -292,6 +294,142 @@ def _cmd_check(args) -> int:
     return 0
 
 
+def _run_obs_scenario(args):
+    """Build a platform with the obs plane attached, run the scripted
+    scenario, and return the finished ``(platform, plane, schedule)``."""
+    from repro.faults import FaultSchedule
+    from repro.obs import ObsPlane
+
+    topo = build_topology(args.topology, args.size, args.bandwidth)
+    telemetry = Telemetry(profile=False)
+    platform = ZenPlatform(topo, profile=args.profile, seed=args.seed,
+                           control_latency=args.control_latency,
+                           telemetry=telemetry)
+    platform.start()
+    plane = ObsPlane(platform, interval=args.interval)
+    sched = FaultSchedule(platform.net)
+    plane.watch_faults(sched)
+    if args.monitor:
+        from repro.check import InvariantMonitor
+
+        monitor = InvariantMonitor(platform.net)
+        monitor.attach(platform.controller)
+        monitor.watch(sched)
+        plane.watch_monitor(monitor)
+
+    hosts = list(platform.net.hosts.values())
+    for a in hosts:
+        for b in hosts:
+            if a is not b:
+                a.add_static_arp(b.ip, b.mac)
+    for i, host in enumerate(hosts):
+        host.send_udp(hosts[(i + 1) % len(hosts)].ip, 7, 7, b"warm")
+
+    if args.faults != "none":
+        net = platform.net
+        switches = sorted(net.switches)
+        target = args.target or switches[0]
+        if target not in net.switches:
+            raise SystemExit(
+                f"unknown switch {target!r}; pick from {switches}")
+        start = net.sim.now + 0.5
+        if args.faults == "channel":
+            sched.channel_flap(start, target, down_for=args.down_for,
+                               period=args.period, count=args.cycles)
+        elif args.faults == "crash":
+            for k in range(args.cycles):
+                sched.switch_crash(start + k * args.period, target,
+                                   restart_after=args.down_for)
+        else:  # link
+            neighbours = [n for n in net.topology.neighbours(target)
+                          if n in net.switches]
+            if not neighbours:
+                raise SystemExit(f"{target} has no switch neighbour")
+            peer = sorted(neighbours)[0]
+            sched.link_flap(start, target, peer, down_for=args.down_for,
+                            period=args.period, count=args.cycles)
+    platform.run(args.duration)
+    plane.finish()
+    return platform, plane, sched
+
+
+def _obs_meta(args) -> dict:
+    return {
+        "topology": f"{args.topology}({args.size})",
+        "profile": args.profile,
+        "seed": args.seed,
+        "faults": args.faults,
+        "duration": args.duration,
+    }
+
+
+def _cmd_obs(args) -> int:
+    from repro.obs import (
+        diff_runs,
+        load_artifact,
+        render_dashboard,
+        render_diff,
+        render_health,
+        render_openmetrics,
+    )
+
+    if args.mode == "diff":
+        if not args.base or not args.current:
+            raise SystemExit("obs diff needs BASE and CURRENT artifacts")
+        base = load_artifact(args.base)
+        current = load_artifact(args.current)
+        report = diff_runs(base, current, tolerance=args.tolerance)
+        if args.format == "json":
+            import json as _json
+
+            print(_json.dumps(report.to_dict(), indent=2,
+                              sort_keys=True))
+        else:
+            print(render_diff(report, base_name=args.base,
+                              cur_name=args.current))
+        return 0 if report.ok else 1
+
+    if args.mode == "dashboard" and args.path:
+        artifact = load_artifact(args.path)
+        select = args.series.split(",") if args.series else None
+        print(render_dashboard(artifact, width=args.width,
+                               select=select,
+                               max_series=args.max_series))
+        if artifact.health is not None:
+            print()
+            print(render_health(artifact.health))
+        return 0
+
+    platform, plane, sched = _run_obs_scenario(args)
+    artifact = plane.artifact(**_obs_meta(args))
+    if args.mode == "dashboard":
+        select = args.series.split(",") if args.series else None
+        print(render_dashboard(artifact, width=args.width,
+                               select=select,
+                               max_series=args.max_series))
+        print()
+        print(render_health(plane.report))
+    elif args.format == "openmetrics":
+        print(render_openmetrics(platform.telemetry.metrics), end="")
+    elif args.format == "json":
+        import json as _json
+
+        print(_json.dumps(artifact.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(f"Scraped {plane.scraper.scrapes} samples of "
+              f"{len(plane.scraper.series)} series over "
+              f"{platform.sim.now:.1f}s sim "
+              f"(interval {args.interval}s); "
+              f"{len(sched.log)} fault(s) injected, "
+              f"{len(plane.scraper.annotations)} annotations")
+        print()
+        print(render_health(plane.report))
+    if args.out:
+        artifact.save(args.out)
+        print(f"\nrun artifact written to {args.out}")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     table = Table("Experiment suite (see DESIGN.md / EXPERIMENTS.md)",
                   ["id", "artifact", "question"])
@@ -399,6 +537,60 @@ def _parser() -> argparse.ArgumentParser:
     chk.add_argument("--path", default="",
                      help="repro or corpus file for replay mode")
     chk.set_defaults(fn=_cmd_check)
+
+    obs = sub.add_parser(
+        "obs",
+        help="sim-time metrics history, health/SLO report, run diffing",
+    )
+    obs.add_argument("mode", choices=("report", "dashboard", "diff"),
+                     help="report: run a scenario and print its health "
+                          "report (or OpenMetrics/JSON); dashboard: "
+                          "render sim-time sparklines with fault "
+                          "windows; diff: A/B-compare two run "
+                          "artifacts and flag regressions")
+    obs.add_argument("base", nargs="?", default="",
+                     help="baseline artifact (diff mode)")
+    obs.add_argument("current", nargs="?", default="",
+                     help="current artifact (diff mode)")
+    obs.add_argument("--topology", default="ring", choices=_BUILDERS)
+    obs.add_argument("--size", type=int, default=4)
+    obs.add_argument("--profile", default="proactive",
+                     choices=("reactive", "proactive"))
+    obs.add_argument("--seed", type=int, default=0)
+    obs.add_argument("--bandwidth", type=float, default=1e9)
+    obs.add_argument("--control-latency", type=float, default=0.001)
+    obs.add_argument("--interval", type=float, default=0.1,
+                     help="scrape interval in simulated seconds")
+    obs.add_argument("--duration", type=float, default=6.0,
+                     help="simulated seconds to run after warmup")
+    obs.add_argument("--faults", default="none",
+                     choices=("none", "link", "channel", "crash"),
+                     help="inject a scripted fault pattern")
+    obs.add_argument("--target", default="",
+                     help="switch to torment (default: first switch)")
+    obs.add_argument("--cycles", type=int, default=2)
+    obs.add_argument("--period", type=float, default=2.0)
+    obs.add_argument("--down-for", type=float, default=0.5)
+    obs.add_argument("--monitor", action="store_true",
+                     help="run the invariant monitor and annotate "
+                          "violations on the timeline")
+    obs.add_argument("--out", default="",
+                     help="write the run artifact (JSON) here")
+    obs.add_argument("--path", default="",
+                     help="render an existing artifact instead of "
+                          "running a scenario (dashboard mode)")
+    obs.add_argument("--format", default="health",
+                     choices=("health", "openmetrics", "json"),
+                     help="report output format (diff: table or json)")
+    obs.add_argument("--width", type=int, default=60,
+                     help="dashboard sparkline width in columns")
+    obs.add_argument("--series", default="",
+                     help="comma-separated series name prefixes to "
+                          "show on the dashboard")
+    obs.add_argument("--max-series", type=int, default=24)
+    obs.add_argument("--tolerance", type=float, default=0.10,
+                     help="relative-delta floor for diff significance")
+    obs.set_defaults(fn=_cmd_obs)
     return parser
 
 

@@ -24,7 +24,7 @@ from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
 
-__all__ = ["Event", "Signal", "Simulator", "Process"]
+__all__ = ["Event", "Observer", "Signal", "Simulator", "Process"]
 
 # Heap entries are plain (time, seq, event) tuples: tuple comparison stops
 # at the unique seq, and tuples cost a fraction of a dataclass to build and
@@ -63,6 +63,36 @@ class Event:
         state = "cancelled" if self.cancelled else "pending"
         name = getattr(self.callback, "__name__", repr(self.callback))
         return f"<Event t={self.time:.6f} {name} {state}>"
+
+
+class Observer:
+    """A periodic side-channel tick that can never perturb the run.
+
+    Observers live outside the event heap: they consume no sequence
+    numbers, never count toward :attr:`Simulator.events_processed`, and
+    the kernel forbids them from scheduling events or processes while
+    their callback runs.  Two runs of the same seed are therefore
+    bit-identical whether observers are attached or not — the property
+    ``repro.obs`` leans on to scrape metrics mid-run.
+    """
+
+    __slots__ = ("interval", "callback", "next_time", "active", "fired")
+
+    def __init__(self, interval: float, callback: Callable[[], Any],
+                 next_time: float) -> None:
+        self.interval = interval
+        self.callback = callback
+        self.next_time = next_time
+        self.active = True
+        self.fired = 0
+
+    def cancel(self) -> None:
+        self.active = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "active" if self.active else "cancelled"
+        return (f"<Observer every {self.interval}s next="
+                f"{self.next_time:.6f} {state}>")
 
 
 class Signal:
@@ -193,6 +223,12 @@ class Simulator:
         self.seed = seed
         self.rng = random.Random(seed)
         self._rng_children = 0
+        #: Side-channel periodic observers (see :class:`Observer`).  The
+        #: run loop pays one float compare per event while any are
+        #: registered; ``_obs_next`` is +inf otherwise.
+        self._observers: list[Observer] = []
+        self._obs_next = float("inf")
+        self._in_observer = False
         # Telemetry is optional and passive: the kernel publishes event
         # counts and lends the tracer its clock, but telemetry can never
         # schedule events or draw randomness — determinism is untouched.
@@ -235,6 +271,11 @@ class Simulator:
         self, time: float, callback: Callable[..., Any], *args: Any
     ) -> Event:
         """Run ``callback(*args)`` at absolute simulated ``time``."""
+        if self._in_observer:
+            raise SimulationError(
+                "observers are read-only: scheduling events from an "
+                "observer callback would perturb the run"
+            )
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time}; now is {self._now}"
@@ -303,6 +344,54 @@ class Simulator:
         return Signal(self)
 
     # ------------------------------------------------------------------
+    # Observers (read-only periodic ticks)
+    # ------------------------------------------------------------------
+    def observe_every(self, interval: float,
+                      callback: Callable[[], Any]) -> Observer:
+        """Fire ``callback()`` every ``interval`` simulated seconds.
+
+        Observer ticks ride alongside the event heap instead of in it:
+        a tick at time *t* fires after every event strictly before *t*
+        and before any event at *t* or later, with :attr:`now` set to
+        *t*.  The callback must be a pure read — scheduling from inside
+        it raises :class:`SimulationError` — so attaching any number of
+        observers leaves the run's event sequence, RNG stream, and
+        :attr:`events_processed` bit-identical.
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive: {interval=}")
+        obs = Observer(interval, callback, self._now + interval)
+        self._observers.append(obs)
+        if obs.next_time < self._obs_next:
+            self._obs_next = obs.next_time
+        return obs
+
+    def _refresh_obs_next(self) -> None:
+        self._obs_next = min(
+            (o.next_time for o in self._observers if o.active),
+            default=float("inf"),
+        )
+
+    def _fire_observers(self, upto: float) -> None:
+        """Fire every due tick (tick time <= ``upto``) in time order."""
+        while self._obs_next <= upto:
+            tick = self._obs_next
+            self._now = tick
+            self._in_observer = True
+            try:
+                # Registration order breaks same-instant ties, so the
+                # firing sequence is deterministic.
+                for obs in self._observers:
+                    if obs.active and obs.next_time <= tick:
+                        obs.callback()
+                        obs.fired += 1
+                        obs.next_time = tick + obs.interval
+            finally:
+                self._in_observer = False
+            self._observers = [o for o in self._observers if o.active]
+            self._refresh_obs_next()
+
+    # ------------------------------------------------------------------
     # Randomness
     # ------------------------------------------------------------------
     def fork_rng(self) -> random.Random:
@@ -355,11 +444,15 @@ class Simulator:
                 break
             heappop(heap)
             event._fired = True
+            if time >= self._obs_next:
+                self._fire_observers(time)
             self._now = time
             event.callback(*event.args)
             executed += 1
         self._processed += executed
         if until is not None and self._now < until:
+            if until >= self._obs_next:
+                self._fire_observers(until)
             self._now = until
         if self._tel_on:
             self._m_events.inc(executed)

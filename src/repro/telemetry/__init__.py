@@ -45,6 +45,7 @@ from repro.telemetry.registry import (
     MetricsRegistry,
     NullRegistry,
 )
+from repro.telemetry.sketch import QuantileSketch
 from repro.telemetry.trace import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -65,6 +66,7 @@ __all__ = [
     "NullFlowRecordExporter",
     "NullRegistry",
     "NullTracer",
+    "QuantileSketch",
     "Span",
     "Telemetry",
     "Tracer",
@@ -80,17 +82,27 @@ class Telemetry:
         trace: bool = True,
         trace_sample_every: int = 1,
         max_traces: int = 256,
+        max_spans: int = 4096,
         max_flow_records: int = 10_000,
+        max_label_sets: int = 1024,
         profile: bool = True,
     ) -> None:
         self.enabled = enabled
         if enabled:
-            self.metrics: MetricsRegistry = MetricsRegistry()
+            self.metrics: MetricsRegistry = MetricsRegistry(
+                max_label_sets=max_label_sets
+            )
             self.tracer: Tracer = (
                 Tracer(sample_every=trace_sample_every,
-                       max_traces=max_traces)
+                       max_traces=max_traces, max_spans=max_spans)
                 if trace else NULL_TRACER
             )
+            if self.tracer.enabled:
+                dropped = self.metrics.counter(
+                    "telemetry_trace_dropped_spans_total",
+                    "Spans evicted by the tracer's retention ring",
+                )
+                self.tracer.on_drop = dropped.inc
             self.flows: FlowRecordExporter = FlowRecordExporter(
                 max_records=max_flow_records
             )

@@ -32,7 +32,13 @@ __all__ = [
 # ----------------------------------------------------------------------
 def _format_value(value) -> str:
     if isinstance(value, dict):  # histogram
-        return f"count={value['count']} sum={value['sum']:.6g}"
+        text = f"count={value['count']} sum={value['sum']:.6g}"
+        quantiles = value.get("quantiles") or {}
+        for name in ("p50", "p95", "p99"):
+            q = quantiles.get(name)
+            if q is not None:
+                text += f" {name}={q:.6g}"
+        return text
     if isinstance(value, float):
         return f"{value:.6g}"
     return str(value)

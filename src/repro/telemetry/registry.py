@@ -17,7 +17,9 @@ in sorted order, and values are plain ints/floats.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.telemetry.sketch import QuantileSketch
 
 __all__ = [
     "Counter",
@@ -29,12 +31,22 @@ __all__ = [
     "NULL_REGISTRY",
     "NullMetric",
     "NullRegistry",
+    "OVERFLOW_LABEL",
 ]
 
 #: Default histogram buckets, tuned for simulated latencies (seconds).
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0, 5.0,
 )
+
+#: Label value all over-cap label sets collapse into (cardinality guard).
+OVERFLOW_LABEL = "__overflow__"
+
+#: Default cap on distinct label sets per family.  High enough that no
+#: legitimate per-switch/per-link family on the shipped topologies gets
+#: near it; low enough that a per-flow label on a million-flow run
+#: cannot blow up memory.
+DEFAULT_MAX_LABEL_SETS = 1024
 
 
 class Counter:
@@ -78,23 +90,39 @@ class Gauge:
 
 
 class Histogram:
-    """Cumulative-bucket histogram (Prometheus style)."""
+    """Cumulative-bucket histogram (Prometheus style).
+
+    Alongside the fixed buckets, every histogram feeds a mergeable
+    :class:`~repro.telemetry.sketch.QuantileSketch`, so percentiles
+    (:meth:`quantile`) are available at any accuracy the bucket layout
+    cannot provide — and the ``repro.obs`` time-series engine can diff
+    cumulative sketches into per-scrape windows.
+    """
 
     kind = "histogram"
-    __slots__ = ("buckets", "bucket_counts", "count", "sum")
+    __slots__ = ("buckets", "bucket_counts", "count", "sum", "sketch")
+
+    #: Percentiles exported in snapshots and the metrics table.
+    EXPORT_QUANTILES = (0.5, 0.95, 0.99)
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
         self.buckets = tuple(sorted(buckets))
         self.bucket_counts = [0] * len(self.buckets)
         self.count = 0
         self.sum = 0.0
+        self.sketch = QuantileSketch()
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.sum += value
+        self.sketch.observe(value)
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 self.bucket_counts[i] += 1
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The sketched value at quantile ``q``; None while empty."""
+        return self.sketch.quantile(q)
 
     def snapshot(self) -> dict:
         return {
@@ -103,6 +131,10 @@ class Histogram:
             "buckets": {
                 repr(bound): cumulative
                 for bound, cumulative in zip(self.buckets, self.bucket_counts)
+            },
+            "quantiles": {
+                f"p{int(q * 100)}": self.quantile(q)
+                for q in self.EXPORT_QUANTILES
             },
         }
 
@@ -128,6 +160,9 @@ class NullMetric:
     def observe(self, value: float) -> None:
         pass
 
+    def quantile(self, q: float):
+        return None
+
     def snapshot(self):
         return None
 
@@ -137,19 +172,32 @@ NULL_METRIC = NullMetric()
 
 class MetricFamily:
     """A named metric with a fixed label schema and one child per value
-    combination.  Children are memoised, so hot paths bind them once."""
+    combination.  Children are memoised, so hot paths bind them once.
+
+    Cardinality is capped: once ``max_label_sets`` distinct label sets
+    exist, further new label sets collapse into one shared overflow
+    child (every label valued :data:`OVERFLOW_LABEL`), so a mistaken
+    per-flow label costs one warning counter, not unbounded memory.
+    """
 
     __slots__ = ("name", "help", "labelnames", "_ctor", "_ctor_kwargs",
-                 "children")
+                 "children", "max_label_sets", "overflowed", "_on_overflow")
 
     def __init__(self, name: str, help_text: str,
-                 labelnames: Sequence[str], ctor, **ctor_kwargs) -> None:
+                 labelnames: Sequence[str], ctor,
+                 max_label_sets: int = DEFAULT_MAX_LABEL_SETS,
+                 on_overflow: Optional[Callable[[str], None]] = None,
+                 **ctor_kwargs) -> None:
         self.name = name
         self.help = help_text
         self.labelnames = tuple(labelnames)
         self._ctor = ctor
         self._ctor_kwargs = ctor_kwargs
         self.children: Dict[Tuple[str, ...], object] = {}
+        self.max_label_sets = max_label_sets
+        #: Label sets redirected into the overflow child so far.
+        self.overflowed = 0
+        self._on_overflow = on_overflow
 
     @property
     def kind(self) -> str:
@@ -164,6 +212,15 @@ class MetricFamily:
             )
         child = self.children.get(key)
         if child is None:
+            if (self.labelnames
+                    and len(self.children) >= self.max_label_sets):
+                key = (OVERFLOW_LABEL,) * len(self.labelnames)
+                self.overflowed += 1
+                if self._on_overflow is not None:
+                    self._on_overflow(self.name)
+                child = self.children.get(key)
+                if child is not None:
+                    return child
             child = self._ctor(**self._ctor_kwargs)
             self.children[key] = child
         return child
@@ -185,8 +242,11 @@ class MetricsRegistry:
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self,
+                 max_label_sets: int = DEFAULT_MAX_LABEL_SETS) -> None:
         self._families: Dict[str, MetricFamily] = {}
+        self.max_label_sets = max_label_sets
+        self._m_overflow: Optional[MetricFamily] = None
 
     # -- family constructors -------------------------------------------
     def counter(self, name: str, help_text: str = "",
@@ -206,7 +266,10 @@ class MetricsRegistry:
     def _family(self, name: str, help_text: str, labels, ctor, **kwargs):
         family = self._families.get(name)
         if family is None:
-            family = MetricFamily(name, help_text, labels, ctor, **kwargs)
+            family = MetricFamily(name, help_text, labels, ctor,
+                                  max_label_sets=self.max_label_sets,
+                                  on_overflow=self._note_overflow,
+                                  **kwargs)
             self._families[name] = family
         elif family.kind != ctor.kind or family.labelnames != tuple(labels):
             raise ValueError(
@@ -217,6 +280,23 @@ class MetricsRegistry:
         if not family.labelnames:
             return family.labels()
         return family
+
+    def _note_overflow(self, family_name: str) -> None:
+        """Bump the cardinality-guard warning counter for a family.
+
+        Counts *calls* redirected to the overflow child, so a hot path
+        that keeps minting fresh label sets shows up loudly.
+        """
+        if self._m_overflow is None:
+            self._m_overflow = MetricFamily(
+                "telemetry_label_overflow_total",
+                "labels() calls redirected to the overflow bucket "
+                "because the family hit its label-set cap",
+                ("family",), Counter,
+                max_label_sets=self.max_label_sets,
+            )
+            self._families[self._m_overflow.name] = self._m_overflow
+        self._m_overflow.labels(family_name).inc()
 
     # -- introspection --------------------------------------------------
     def family(self, name: str) -> Optional[MetricFamily]:

@@ -1,0 +1,196 @@
+"""Mergeable quantile sketch with bounded relative error.
+
+A DDSketch-style log-bucketed sketch: values land in buckets whose
+bounds grow geometrically by ``gamma = (1 + alpha) / (1 - alpha)``, so
+any quantile estimate is within a relative error of ``alpha`` of the
+true value.  Counts are plain integers in a sparse dict, which makes
+the sketch
+
+* **mergeable** — adding two sketches' bucket counts gives exactly the
+  sketch of the union stream (the property the time-series engine uses
+  to aggregate histograms across scrape windows), and
+* **subtractable** — a later cumulative sketch minus an earlier one is
+  the sketch of the in-between observations, so per-scrape deltas cost
+  one sparse dict diff.
+
+Everything is deterministic and JSON-serialisable; no floats are used
+as dict keys.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional
+
+__all__ = ["QuantileSketch", "DEFAULT_ALPHA"]
+
+#: Default relative accuracy: quantiles within 1% of the true value.
+DEFAULT_ALPHA = 0.01
+
+
+class QuantileSketch:
+    """Sparse log-bucketed quantile sketch (non-negative values)."""
+
+    __slots__ = ("alpha", "_gamma", "_log_gamma", "_buckets", "_zeros",
+                 "count", "sum", "min", "max")
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA) -> None:
+        if not 0 < alpha < 1:
+            raise ValueError(f"alpha must be in (0, 1): {alpha}")
+        self.alpha = alpha
+        self._gamma = (1 + alpha) / (1 - alpha)
+        self._log_gamma = math.log(self._gamma)
+        self._buckets: Dict[int, int] = {}
+        self._zeros = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def observe(self, value: float, n: int = 1) -> None:
+        """Record ``value`` ``n`` times.  Negatives clamp to zero —
+        the telemetry plane only produces durations/sizes/counts."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1: {n}")
+        if value <= 0:
+            self._zeros += n
+            value = 0.0
+        else:
+            index = math.ceil(math.log(value) / self._log_gamma)
+            self._buckets[index] = self._buckets.get(index, 0) + n
+        self.count += n
+        self.sum += value * n
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    # ------------------------------------------------------------------
+    # Merge / delta
+    # ------------------------------------------------------------------
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` into ``self`` (in place); returns ``self``."""
+        self._check_compatible(other)
+        for index, n in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + n
+        self._zeros += other._zeros
+        self.count += other.count
+        self.sum += other.sum
+        for bound in (other.min, other.max):
+            if bound is None:
+                continue
+            if self.min is None or bound < self.min:
+                self.min = bound
+            if self.max is None or bound > self.max:
+                self.max = bound
+        return self
+
+    def delta_since(self, earlier: "QuantileSketch") -> "QuantileSketch":
+        """The sketch of observations made after ``earlier`` was copied.
+
+        Requires ``earlier`` to be a previous cumulative state of this
+        sketch (bucket counts monotonically non-decreasing); min/max of
+        the delta are approximated by the cumulative extremes.
+        """
+        self._check_compatible(earlier)
+        out = QuantileSketch(self.alpha)
+        for index, n in self._buckets.items():
+            diff = n - earlier._buckets.get(index, 0)
+            if diff > 0:
+                out._buckets[index] = diff
+        out._zeros = max(0, self._zeros - earlier._zeros)
+        out.count = max(0, self.count - earlier.count)
+        out.sum = self.sum - earlier.sum
+        if out.count:
+            out.min = self.min
+            out.max = self.max
+        return out
+
+    def copy(self) -> "QuantileSketch":
+        out = QuantileSketch(self.alpha)
+        out._buckets = dict(self._buckets)
+        out._zeros = self._zeros
+        out.count = self.count
+        out.sum = self.sum
+        out.min = self.min
+        out.max = self.max
+        return out
+
+    def _check_compatible(self, other: "QuantileSketch") -> None:
+        if other.alpha != self.alpha:
+            raise ValueError(
+                f"cannot combine sketches with alpha {self.alpha} "
+                f"and {other.alpha}"
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> Optional[float]:
+        """The value at quantile ``q`` in [0, 1]; None when empty."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"q must be in [0, 1]: {q}")
+        if not self.count:
+            return None
+        # Rank of the target observation, 0-based, clamped into range.
+        rank = min(self.count - 1, int(q * self.count))
+        if rank < self._zeros:
+            return 0.0
+        seen = self._zeros
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if rank < seen:
+                # Midpoint of the bucket (gamma^(i-1), gamma^i].
+                value = 2 * self._gamma ** index / (self._gamma + 1)
+                # Never report outside the observed range.
+                if self.max is not None:
+                    value = min(value, self.max)
+                if self.min is not None:
+                    value = max(value, self.min)
+                return value
+        return self.max  # pragma: no cover - counts always add up
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "alpha": self.alpha,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "zeros": self._zeros,
+            "buckets": {str(i): n
+                        for i, n in sorted(self._buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuantileSketch":
+        out = cls(data.get("alpha", DEFAULT_ALPHA))
+        out._buckets = {int(i): n for i, n in data["buckets"].items()}
+        out._zeros = data.get("zeros", 0)
+        out.count = data["count"]
+        out.sum = data["sum"]
+        out.min = data.get("min")
+        out.max = data.get("max")
+        return out
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        p50 = self.quantile(0.5)
+        mid = f" p50={p50:.6g}" if p50 is not None else ""
+        return f"<QuantileSketch n={self.count}{mid}>"

@@ -62,22 +62,44 @@ class Span:
 
 
 class Tracer:
-    """Collects spans per trace id; bounded and sampled for big runs."""
+    """Collects spans per trace id; bounded and sampled for big runs.
+
+    Retention is a ring over *spans*, not just traces: ``max_spans``
+    caps the total spans held at once, and once it is exceeded the
+    oldest trace's spans are evicted first (whole traces at a time, so
+    surviving traces stay complete).  Before this cap the tracer kept
+    every span for the whole run — a slow leak at E12-scale workloads.
+    Evictions are counted in :attr:`dropped_spans` and reported through
+    the ``telemetry_trace_dropped_spans_total`` counter via
+    :attr:`on_drop`.
+    """
 
     enabled = True
 
     def __init__(self, sample_every: int = 1, max_traces: int = 256,
+                 max_spans: int = 4096,
                  clock: Optional[Callable[[], float]] = None) -> None:
         if sample_every < 1:
             raise ValueError(f"sample_every must be >= 1: {sample_every}")
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1: {max_spans}")
         self.sample_every = sample_every
         self.max_traces = max_traces
+        self.max_spans = max_spans
         self.clock: Callable[[], float] = clock or (lambda: 0.0)
         self._spans: Dict[int, List[Span]] = {}
         self._labels: Dict[int, str] = {}
+        #: Trace ids in creation order — the ring's eviction order.
+        self._order: Deque[int] = deque()
+        self._span_total = 0
         self._next_id = 1
         self._seen = 0
         self.dropped = 0
+        self.dropped_spans = 0
+        #: Called with the number of spans evicted by the retention
+        #: ring; :class:`~repro.telemetry.Telemetry` points this at a
+        #: counter so drops are visible in the metrics plane.
+        self.on_drop: Optional[Callable[[int], None]] = None
         self._stash: Dict[Hashable, Deque[Tuple[int, float]]] = {}
 
     # ------------------------------------------------------------------
@@ -95,6 +117,7 @@ class Tracer:
         self._next_id += 1
         self._spans[trace_id] = []
         self._labels[trace_id] = label
+        self._order.append(trace_id)
         return trace_id
 
     def record(self, trace_id: Optional[int], name: str, stage: str,
@@ -112,6 +135,34 @@ class Tracer:
         if start is None:
             start = end
         spans.append(Span(trace_id, name, stage, start, end, attrs))
+        self._span_total += 1
+        if self._span_total > self.max_spans:
+            self._evict(keep=trace_id)
+
+    def _evict(self, keep: int) -> None:
+        """Drop whole traces, oldest first, until back under the cap.
+
+        The trace currently being written (``keep``) survives even if
+        it is the oldest — its own tail would otherwise vanish as it
+        grew; a single trace larger than the whole ring is left intact.
+        """
+        evicted = 0
+        while self._span_total > self.max_spans and self._order:
+            if self._order[0] == keep:
+                if len(self._order) == 1:
+                    break
+                self._order.rotate(-1)  # spare the live trace this pass
+                continue
+            tid = self._order.popleft()
+            spans = self._spans.pop(tid, None)
+            self._labels.pop(tid, None)
+            if spans:
+                evicted += len(spans)
+                self._span_total -= len(spans)
+        if evicted:
+            self.dropped_spans += evicted
+            if self.on_drop is not None:
+                self.on_drop(evicted)
 
     # ------------------------------------------------------------------
     # Cross-serialisation context propagation

@@ -294,3 +294,77 @@ class TestPendingEventAccounting:
         processed = sim.run_until_idle()
         assert processed == len(live)
         assert sim.pending_events == 0
+
+
+class TestObservers:
+    """The read-only observer side-channel (repro.obs rides this)."""
+
+    def test_tick_fires_before_events_at_or_after_its_time(self):
+        sim = Simulator()
+        order = []
+        sim.observe_every(1.0, lambda: order.append(("tick", sim.now)))
+        sim.schedule(0.5, lambda: order.append(("event", 0.5)))
+        sim.schedule(1.0, lambda: order.append(("event", 1.0)))
+        sim.schedule(1.5, lambda: order.append(("event", 1.5)))
+        sim.run_until_idle()
+        assert order[:3] == [
+            ("event", 0.5), ("tick", 1.0), ("event", 1.0),
+        ]
+
+    def test_ticks_fire_at_run_until_boundary(self):
+        sim = Simulator()
+        ticks = []
+        sim.observe_every(0.25, lambda: ticks.append(sim.now))
+        sim.run(until=1.0)  # no events at all
+        assert ticks == pytest.approx([0.25, 0.5, 0.75, 1.0])
+        assert sim.now == 1.0
+        assert sim.events_processed == 0
+
+    def test_observers_consume_no_sequence_numbers(self):
+        def run(with_observer):
+            sim = Simulator(seed=42)
+            seen = []
+            if with_observer:
+                sim.observe_every(0.1, lambda: None)
+            rng = sim.fork_rng()
+            for i in range(5):
+                sim.schedule(rng.uniform(0.0, 3.0),
+                             lambda i=i: seen.append((sim.now, i)))
+            sim.run(until=3.0)
+            return seen
+
+        assert run(True) == run(False)
+
+    def test_schedule_from_observer_raises(self):
+        sim = Simulator()
+
+        def naughty():
+            sim.schedule(0.1, lambda: None)
+
+        sim.observe_every(0.5, naughty)
+        sim.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError, match="read-only"):
+            sim.run(until=1.0)
+
+    def test_cancel_stops_future_ticks(self):
+        sim = Simulator()
+        ticks = []
+        handle = sim.observe_every(0.2, lambda: ticks.append(sim.now))
+        sim.schedule(1.0, handle.cancel)
+        sim.run(until=2.0)
+        assert all(t <= 1.0 for t in ticks)
+        assert len(ticks) == 5
+
+    def test_two_observers_fire_in_registration_order(self):
+        sim = Simulator()
+        order = []
+        sim.observe_every(0.5, lambda: order.append("a"))
+        sim.observe_every(0.5, lambda: order.append("b"))
+        sim.run(until=0.5)
+        assert order == ["a", "b"]
+
+    def test_fired_counter_tracks_ticks(self):
+        sim = Simulator()
+        handle = sim.observe_every(0.1, lambda: None)
+        sim.run(until=1.0)
+        assert handle.fired == 10

@@ -392,3 +392,132 @@ class TestDeterminism:
             return to_json(tel)
 
         assert run() == run()
+
+
+# ----------------------------------------------------------------------
+# Retention bounds and cardinality guards (the obs-plane satellites)
+# ----------------------------------------------------------------------
+class TestTracerSpanRing:
+    def test_span_total_stays_bounded(self):
+        tracer = Tracer(max_traces=1000, max_spans=50)
+        for i in range(100):
+            tid = tracer.start_trace(f"pkt-{i}")
+            for j in range(3):
+                tracer.record(tid, f"hop-{j}", "switch")
+        assert tracer._span_total <= 50
+        assert tracer.dropped_spans == 300 - tracer._span_total
+
+    def test_oldest_traces_evicted_first(self):
+        tracer = Tracer(max_traces=1000, max_spans=10)
+        first = tracer.start_trace("first")
+        for _ in range(5):
+            tracer.record(first, "span", "switch")
+        later = [tracer.start_trace(f"t{i}") for i in range(4)]
+        for tid in later:
+            tracer.record(tid, "span", "switch")
+            tracer.record(tid, "span2", "switch")
+        # first (5 spans) was evicted to make room for the newer traces.
+        assert first not in tracer._spans
+        assert all(tid in tracer._spans for tid in later[1:])
+
+    def test_live_trace_survives_even_when_oldest(self):
+        tracer = Tracer(max_traces=1000, max_spans=4)
+        tid = tracer.start_trace("huge")
+        for i in range(10):
+            tracer.record(tid, f"s{i}", "switch")
+        # A single trace larger than the ring is left intact.
+        assert tid in tracer._spans
+        assert len(tracer._spans[tid]) == 10
+        assert tracer.dropped_spans == 0
+
+    def test_on_drop_reports_eviction_sizes(self):
+        tracer = Tracer(max_traces=1000, max_spans=4)
+        drops = []
+        tracer.on_drop = drops.append
+        for i in range(4):
+            tid = tracer.start_trace(f"t{i}")
+            tracer.record(tid, "a", "switch")
+            tracer.record(tid, "b", "switch")
+        assert sum(drops) == tracer.dropped_spans > 0
+
+    def test_telemetry_wires_drop_counter(self):
+        telemetry = Telemetry(max_spans=4)
+        for i in range(4):
+            tid = telemetry.tracer.start_trace(f"t{i}")
+            telemetry.tracer.record(tid, "a", "switch")
+            telemetry.tracer.record(tid, "b", "switch")
+        counter = telemetry.metrics.counter(
+            "telemetry_trace_dropped_spans_total", ""
+        )
+        assert counter.value == telemetry.tracer.dropped_spans > 0
+
+
+class TestHistogramQuantiles:
+    def test_quantile_tracks_observations(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", "test")
+        for i in range(1, 101):
+            hist.observe(i / 100.0)
+        assert hist.quantile(0.5) == pytest.approx(0.5, rel=0.05)
+        assert hist.quantile(0.95) == pytest.approx(0.95, rel=0.05)
+        assert hist.quantile(0.0) == pytest.approx(0.01, rel=0.05)
+
+    def test_snapshot_exports_percentiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", "test")
+        hist.observe(0.004)
+        snap = hist.snapshot()
+        assert set(snap["quantiles"]) == {"p50", "p95", "p99"}
+        assert snap["quantiles"]["p50"] == pytest.approx(0.004, rel=0.05)
+
+    def test_empty_histogram_quantile_is_none(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", "test")
+        assert hist.quantile(0.5) is None
+        assert hist.snapshot()["quantiles"]["p99"] is None
+
+    def test_metrics_table_shows_percentiles(self):
+        from repro.telemetry.export import metrics_table
+
+        registry = MetricsRegistry()
+        registry.histogram("h", "test").observe(0.25)
+        text = metrics_table(registry).render()
+        assert "p50=" in text and "p95=" in text and "p99=" in text
+
+
+class TestLabelCardinalityGuard:
+    def test_overflow_collapses_into_sentinel_child(self):
+        from repro.telemetry.registry import OVERFLOW_LABEL
+
+        registry = MetricsRegistry(max_label_sets=4)
+        family = registry.counter("hits_total", "test", ("path",))
+        for i in range(10):
+            family.labels(f"/page/{i}").inc()
+        assert len(family.children) == 5  # 4 real + the sentinel
+        sentinel = family.labels("/page/999")
+        assert sentinel is family.children[(OVERFLOW_LABEL,)]
+        # The 6 overflowed increments all landed on the sentinel child.
+        assert sentinel.value == 6.0
+
+    def test_existing_children_still_resolve_after_overflow(self):
+        registry = MetricsRegistry(max_label_sets=2)
+        family = registry.counter("hits_total", "test", ("path",))
+        a = family.labels("/a")
+        family.labels("/b")
+        family.labels("/c")  # overflow
+        assert family.labels("/a") is a
+
+    def test_overflow_counter_counts_redirected_calls(self):
+        registry = MetricsRegistry(max_label_sets=2)
+        family = registry.counter("hits_total", "test", ("path",))
+        for i in range(6):
+            family.labels(f"/{i}").inc()
+        overflow = registry.counter("telemetry_label_overflow_total",
+                                    "", ("family",))
+        assert overflow.labels("hits_total").value == 4.0
+
+    def test_zero_label_families_never_overflow(self):
+        registry = MetricsRegistry(max_label_sets=1)
+        registry.counter("a_total", "t").inc()
+        registry.gauge("b", "t").set(1)
+        assert registry.counter("a_total", "t").value == 1.0
