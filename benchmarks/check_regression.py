@@ -11,6 +11,10 @@ compares a machine-normalised quantity from one and the same run:
   overhead reaches ``E14_MAX_OVERHEAD_PCT`` or the seeded run was
   perturbed.  Gated only when ``BENCH_E14.json`` is present, so the
   fast-path gate keeps working on partial benchmark runs.
+* **E16 (workload suite)** — the reproducibility verdicts: per-scenario
+  digests identical across worker counts, paired run artifacts diff
+  clean, and every scenario completed flows.  Gated only when
+  ``BENCH_E16.json`` is present.
 
 Usage (after the benchmark smoke run has written the BENCH files)::
 
@@ -33,6 +37,8 @@ HARD_FLOOR = 2.0   # E12's contract, machine-independent
 E14_CURRENT = os.path.join(os.path.dirname(HERE), "BENCH_E14.json")
 E14_MAX_OVERHEAD_PCT = 5.0   # E14's contract: scrapes cost < 5% wall
 
+E16_CURRENT = os.path.join(os.path.dirname(HERE), "BENCH_E16.json")
+
 
 def check_e14() -> int:
     """Gate the obs plane when its benchmark ran; 0 = pass."""
@@ -54,6 +60,34 @@ def check_e14() -> int:
               f"{E14_MAX_OVERHEAD_PCT:.1f}%")
         return 1
     print("OK: obs plane within budget")
+    return 0
+
+
+def check_e16() -> int:
+    """Gate the workload suite when its benchmark ran; 0 = pass."""
+    if not os.path.exists(E16_CURRENT):
+        print("workload gate: BENCH_E16.json absent, skipping")
+        return 0
+    with open(E16_CURRENT) as fh:
+        current = json.load(fh)
+    identical = current["identical"]
+    diff_clean = current["diff_clean"]
+    scenarios = current["scenarios"]
+    print(f"workload suite: {len(scenarios)} scenario(s), "
+          f"digests identical across worker counts={identical}, "
+          f"paired diffs clean={diff_clean}")
+    if not identical:
+        print("FAIL: workload suite digests depend on the worker count")
+        return 1
+    if not diff_clean:
+        print("FAIL: paired workload run artifacts diverged")
+        return 1
+    starved = [name for name, s in sorted(scenarios.items())
+               if s["flows_completed"] <= 0]
+    if starved:
+        print(f"FAIL: scenario(s) completed no flows: {starved}")
+        return 1
+    print("OK: workload suite reproducible and productive")
     return 0
 
 
@@ -84,7 +118,8 @@ def main(argv) -> int:
               f"{TOLERANCE:.0%} from baseline {base_speedup:.2f}x")
         return 1
     print("OK: fast path within budget")
-    return check_e14()
+    rc = check_e14()
+    return rc if rc else check_e16()
 
 
 if __name__ == "__main__":

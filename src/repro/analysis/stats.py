@@ -42,7 +42,10 @@ def percentile(values: Sequence[float], p: float) -> float:
     if low == high:
         return data[low]
     frac = rank - low
-    return data[low] * (1 - frac) + data[high] * frac
+    # data[low] + frac * span, not the two-product convex form: with
+    # subnormal inputs the products each round toward zero and p50 of
+    # [x, x] could land *below* p25, breaking monotonicity.
+    return data[low] + (data[high] - data[low]) * frac
 
 
 def median(values: Sequence[float]) -> float:

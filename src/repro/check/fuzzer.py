@@ -104,7 +104,11 @@ class Scenario:
         """Simulated seconds the run needs after start-up."""
         last = 1.0
         for entry in self.workload:
-            last = max(last, entry["at"] + 1.0)
+            # Rich entries (repro.workload kinds) run for a duration;
+            # classic single-packet entries have none and keep their
+            # original horizon exactly.
+            last = max(last, entry["at"]
+                       + float(entry.get("duration", 0.0)) + 1.0)
         for fault in self.faults:
             if fault["kind"] in ("link_flap", "channel_flap"):
                 last = max(last, fault["at"]
@@ -367,7 +371,18 @@ def run_scenario(scenario: Scenario, fast_path: bool = True,
 
     base = net.sim.now
     _arm_faults(scenario, schedule, base)
+    traffic_sinks: dict = {}
     for entry in scenario.workload:
+        if "kind" in entry:
+            # A repro.workload traffic entry (flows/incast/diurnal/cbr)
+            # — arm the real generator so invariants are checked under
+            # realistic load, not just single probe packets.
+            from repro.workload.generators import arm_traffic
+
+            doc = dict(entry)
+            doc["start"] = float(doc.pop("at", 0.0))
+            arm_traffic(net.sim, hosts, doc, traffic_sinks)
+            continue
         src, dst = entry["src"], entry["dst"]
         net.sim.schedule_at(
             base + entry["at"],

@@ -11,6 +11,10 @@ Five commands, aimed at kicking the tyres without writing code:
   and dump metrics, a packet trace, and flow records.
 * ``faults``    — run a demo under scripted fault injection (channel
   flaps, link flaps, or switch crashes) and report what recovered.
+* ``check``     — verify network invariants or fuzz seeded scenarios.
+* ``obs``       — sim-time metrics history, health reports, run diffs.
+* ``workload``  — list/run declarative workload scenarios, or fan a
+  suite across worker processes.
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ from repro.telemetry.export import render_report, to_json
 __all__ = ["main", "build_topology"]
 
 _BUILDERS = ("linear", "single", "ring", "star", "tree", "fat_tree",
-             "mesh", "waxman")
+             "mesh", "waxman", "carrier_wan")
 
 _EXPERIMENTS = [
     ("E1", "Table 1", "flow-setup latency across control designs"),
@@ -47,6 +51,8 @@ _EXPERIMENTS = [
      "clean-network precision"),
     ("E14", "—", "obs plane: scrape overhead, health under churn, "
      "run-to-run diff"),
+    ("E16", "—", "workload suite: tail FCT and flow-table occupancy "
+     "across realistic scenarios"),
     ("A1", "ablation", "reactive setup cost vs controller latency"),
     ("A2", "ablation", "microflow rules under table pressure (LRU)"),
 ]
@@ -77,6 +83,9 @@ def build_topology(name: str, size: int, bandwidth: float) -> Topology:
     if name == "waxman":
         return Topology.waxman(size, hosts_per_switch=1,
                                bandwidth_bps=bandwidth)
+    if name == "carrier_wan":
+        return Topology.carrier_wan(cores=max(size, 3),
+                                    bandwidth_bps=bandwidth)
     raise SystemExit(f"unknown topology {name!r}; pick from {_BUILDERS}")
 
 
@@ -430,6 +439,93 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _fmt_fct(value) -> str:
+    return f"{value * 1e3:.1f}ms" if value is not None else "-"
+
+
+def _cmd_workload(args) -> int:
+    from repro.workload import (
+        library,
+        load_spec,
+        run_suite,
+        run_workload,
+        suite_digest,
+    )
+
+    specs = library()
+    if args.mode == "list":
+        table = Table("Workload scenario library",
+                      ["name", "topology", "traffic", "faults", "seed"])
+        for name in sorted(specs):
+            spec = specs[name]
+            kinds = ",".join(e.get("kind", "flows")
+                             for e in spec.traffic)
+            table.add_row(name, spec.topology.get("family", "?"),
+                          kinds, len(spec.faults), spec.seed)
+        print(table.render())
+        print("\nRun one:      python -m repro workload run --name "
+              "<name>")
+        print("Run them all: python -m repro workload suite --jobs 2")
+        return 0
+
+    if args.mode == "run":
+        if args.spec:
+            spec = load_spec(args.spec)
+        elif args.name:
+            if args.name not in specs:
+                raise SystemExit(f"unknown scenario {args.name!r}; "
+                                 f"pick from {sorted(specs)}")
+            spec = specs[args.name]
+        else:
+            raise SystemExit("workload run needs --name or --spec")
+        if args.seed is not None:
+            spec.seed = args.seed
+        result = run_workload(spec, out=args.out or None)
+        s = result.summary
+        print(f"{spec.name}: {s['flows_completed']}/{s['flows_started']} "
+              f"flows completed, fct p50/p99 "
+              f"{_fmt_fct(s['fct_p50'])}/{_fmt_fct(s['fct_p99'])}, "
+              f"flow-table peak {s['flow_table_peak']}, "
+              f"{s['faults_fired']} fault(s), "
+              f"health {'ok' if s['health_ok'] else 'ALERTS'}")
+        print(f"digest {result.digest[:16]}")
+        if args.out:
+            print(f"run artifact written to {args.out}")
+        return 0
+
+    # suite
+    if args.names:
+        missing = [n for n in args.names.split(",") if n not in specs]
+        if missing:
+            raise SystemExit(f"unknown scenario(s) {missing}; "
+                             f"pick from {sorted(specs)}")
+        selection = [specs[n] for n in args.names.split(",")]
+    else:
+        selection = [specs[n] for n in sorted(specs)]
+    results = run_suite(selection, jobs=args.jobs,
+                        out_dir=args.out_dir or None)
+    table = Table(f"Workload suite ({args.jobs} job(s))",
+                  ["name", "flows", "fct p99", "table peak", "health",
+                   "digest"])
+    for entry in results:
+        s = entry["summary"]
+        table.add_row(
+            entry["name"],
+            f"{s['flows_completed']}/{s['flows_started']}",
+            _fmt_fct(s["fct_p99"]),
+            s["flow_table_peak"],
+            "ok" if s["health_ok"] else "ALERTS",
+            entry["digest"][:16],
+        )
+    print(table.render())
+    print(f"\nsuite digest {suite_digest(results)[:16]} "
+          f"(independent of --jobs)")
+    if args.out_dir:
+        print(f"run artifacts in {args.out_dir}/ "
+              f"(diff any pair: python -m repro obs diff A B)")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     table = Table("Experiment suite (see DESIGN.md / EXPERIMENTS.md)",
                   ["id", "artifact", "question"])
@@ -591,6 +687,32 @@ def _parser() -> argparse.ArgumentParser:
     obs.add_argument("--tolerance", type=float, default=0.10,
                      help="relative-delta floor for diff significance")
     obs.set_defaults(fn=_cmd_obs)
+
+    wl = sub.add_parser(
+        "workload",
+        help="declarative workload scenarios: list the library, run "
+             "one, or fan a suite across worker processes",
+    )
+    wl.add_argument("mode", choices=("list", "run", "suite"),
+                    help="list: show the scenario library; run: "
+                         "execute one scenario; suite: execute many "
+                         "and print per-run digests")
+    wl.add_argument("--name", default="",
+                    help="library scenario to run (run mode)")
+    wl.add_argument("--spec", default="",
+                    help="path to a JSON/YAML spec file (run mode)")
+    wl.add_argument("--names", default="",
+                    help="comma-separated library names (suite mode; "
+                         "default: the whole library)")
+    wl.add_argument("--seed", type=int, default=None,
+                    help="override the spec seed (run mode)")
+    wl.add_argument("--jobs", type=int, default=1,
+                    help="worker processes for suite mode")
+    wl.add_argument("--out", default="",
+                    help="write the run artifact here (run mode)")
+    wl.add_argument("--out-dir", default="",
+                    help="directory for suite run artifacts")
+    wl.set_defaults(fn=_cmd_workload)
     return parser
 
 

@@ -309,6 +309,53 @@ class Topology:
         return topo
 
     @classmethod
+    def carrier_wan(cls, cores: int = 4, metros_per_core: int = 2,
+                    access_per_metro: int = 2, hosts_per_access: int = 2,
+                    core_delay: float = 0.005, metro_delay: float = 0.001,
+                    access_delay: float = 0.0002,
+                    **link_opts) -> "Topology":
+        """A three-tier carrier/WAN topology (SplitArchitecture's
+        operator domain): a core ring with a cross-chord, dual-homed
+        metro switches, and access switches fanning out to subscribers.
+
+        Each metro attaches to its own core *and* the next core around
+        the ring, so every access subtree survives a single core or
+        core-link failure.  Per-tier propagation delays default to
+        WAN-ish numbers (5 ms core, 1 ms metro, 0.2 ms access) — the
+        long-haul asymmetry datacenter fabrics don't have.
+        """
+        if cores < 3:
+            raise TopologyError("carrier WAN needs at least 3 cores")
+        if metros_per_core < 1 or access_per_metro < 1:
+            raise TopologyError("carrier WAN tiers must be >= 1 wide")
+        topo = cls(f"carrier-{cores}x{metros_per_core}x{access_per_metro}")
+        core = [topo.add_switch(f"core{i}") for i in range(cores)]
+        for i, sw in enumerate(core):
+            topo.add_link(sw, core[(i + 1) % cores], delay=core_delay,
+                          **link_opts)
+        if cores >= 5:
+            # One chord across the ring keeps worst-case core paths
+            # from growing linearly with the ring size.
+            topo.add_link(core[0], core[cores // 2], delay=core_delay,
+                          **link_opts)
+        for i in range(cores):
+            for m in range(metros_per_core):
+                metro = topo.add_switch(f"m{i}_{m}")
+                topo.add_link(metro, core[i], delay=metro_delay,
+                              **link_opts)
+                topo.add_link(metro, core[(i + 1) % cores],
+                              delay=metro_delay, **link_opts)
+                for a in range(access_per_metro):
+                    access = topo.add_switch(f"a{i}_{m}_{a}")
+                    topo.add_link(access, metro, delay=access_delay,
+                                  **link_opts)
+                    for h in range(hosts_per_access):
+                        host = topo.add_host(f"u{i}_{m}_{a}h{h}")
+                        topo.add_link(host, access, delay=access_delay,
+                                      **link_opts)
+        return topo
+
+    @classmethod
     def waxman(cls, num_switches: int, hosts_per_switch: int = 1,
                alpha: float = 0.6, beta: float = 0.4, seed: int = 7,
                **link_opts) -> "Topology":

@@ -29,12 +29,26 @@ __all__ = [
     "CBRStream",
     "FlowGenerator",
     "RequestLoad",
+    "allocate_flow_id",
     "pareto_sizes",
+    "send_framed_flow",
     "FLOW_HEADER",
 ]
 
 #: Payload framing: flow id (u32), sequence (u32), total size (u64).
 FLOW_HEADER = struct.Struct("!IIQ")
+
+
+def allocate_flow_id(sim: Simulator) -> int:
+    """Next flow id from the per-simulator counter.
+
+    Every generator family draws from the same namespace, so two
+    generators feeding one sink can never collide, and ids depend only
+    on allocation order within the run — re-running a seeded simulation
+    in the same process yields the same ids (a class-level counter,
+    which this replaced, leaked process history into the stream).
+    """
+    return sim.next_id("flow")
 
 
 class FlowRecord:
@@ -96,7 +110,11 @@ class FlowSink:
                                 host.sim.now)
             self.flows[flow_id] = record
         size = len(payload)
-        record.bytes_received += size
+        # Completion compares goodput against the advertised flow size;
+        # counting the 16 framing bytes per packet used to trip
+        # ``bytes_received >= size`` one or more packets early and
+        # silently shrink every measured FCT.
+        record.bytes_received += size - FLOW_HEADER.size
         record.packets_received += 1
         self.total_bytes += size
         if (record.bytes_received >= record.size
@@ -124,8 +142,6 @@ class CBRStream:
     :class:`FlowSink` can account them.
     """
 
-    _next_flow_id = 1
-
     def __init__(
         self,
         src: Host,
@@ -150,8 +166,7 @@ class CBRStream:
         self.duration = duration
         self.src_port = src_port
         self.dst_port = dst_port
-        self.flow_id = CBRStream._next_flow_id
-        CBRStream._next_flow_id += 1
+        self.flow_id = allocate_flow_id(src.sim)
         self.packets_sent = 0
         self.bytes_sent = 0
         self._stopped = False
@@ -164,7 +179,10 @@ class CBRStream:
 
     def _tick(self) -> None:
         sim = self.src.sim
-        if self._stopped or sim.now > self._end_at:
+        # Strict comparison: a tick landing exactly on the end instant
+        # must not send, or the stream ships one packet more than
+        # rate * duration accounts for.
+        if self._stopped or sim.now >= self._end_at:
             return
         payload = FLOW_HEADER.pack(self.flow_id, self._seq, 0)
         payload += b"\x00" * (self.packet_size - len(payload))
@@ -195,7 +213,48 @@ def pareto_sizes(rng, mean: float, shape: float = 1.2):
         raise TopologyError("pareto shape must be > 1 for a finite mean")
     scale = mean * (shape - 1) / shape
     while True:
-        yield max(int(scale / (rng.random() ** (1.0 / shape))), 64)
+        # random() is uniform on [0, 1): an exact 0.0 draw is rare but
+        # legal and used to raise ZeroDivisionError mid-experiment.
+        u = rng.random()
+        while u <= 0.0:
+            u = rng.random()
+        yield max(int(scale / (u ** (1.0 / shape))), 64)
+
+
+def send_framed_flow(sim: Simulator, src: Host, dst_ip, flow_id: int,
+                     size: int, src_port: int, dst_port: int,
+                     flow_rate_bps: float = 10e6,
+                     packet_size: int = 1000) -> int:
+    """Pace one framed flow of ``size`` goodput bytes; returns the
+    number of packets it will take.
+
+    Shared by every generator family (Poisson, incast, scenario specs):
+    the flow is chunked into ``packet_size``-byte UDP datagrams whose
+    16-byte header carries (flow id, sequence, total size) so any
+    :class:`FlowSink` can detect the exact completion packet.
+    """
+    interval = packet_size * 8 / flow_rate_bps
+    payload_room = packet_size - FLOW_HEADER.size
+    if payload_room <= 0:
+        raise TopologyError(
+            f"packet size must exceed framing ({FLOW_HEADER.size}B)"
+        )
+    chunks: List[int] = []
+    remaining = size
+    while remaining > 0:
+        chunk = min(remaining, payload_room)
+        chunks.append(chunk)
+        remaining -= chunk
+
+    def send_chunk(index: int) -> None:
+        header = FLOW_HEADER.pack(flow_id, index, size)
+        payload = header + b"\x00" * chunks[index]
+        src.send_udp(dst_ip, src_port, dst_port, payload)
+        if index + 1 < len(chunks):
+            sim.schedule(interval, send_chunk, index + 1)
+
+    send_chunk(0)
+    return len(chunks)
 
 
 class FlowGenerator:
@@ -234,7 +293,6 @@ class FlowGenerator:
         self.rng = sim.fork_rng()
         self._end_at = sim.now + start + duration
         self.flows_started: List[FlowRecord] = []
-        self._next_flow_id = 1_000_000  # clear of CBR ids
         self._next_src_port = 30000
         sim.schedule(start + self.rng.expovariate(arrival_rate),
                      self._arrival)
@@ -245,42 +303,29 @@ class FlowGenerator:
         src, dst = self.rng.sample(self.hosts, 2)
         return src, dst
 
-    def _arrival(self) -> None:
-        if self.sim.now > self._end_at:
-            return
+    def _spawn_flow(self) -> FlowRecord:
+        """Start one flow now (subclasses reuse this from custom
+        arrival processes)."""
         src, dst = self._pick_pair()
         size = next(self.size_source)
-        flow_id = self._next_flow_id
-        self._next_flow_id += 1
+        flow_id = allocate_flow_id(self.sim)
         src_port = self._next_src_port
         self._next_src_port += 1
         if self._next_src_port > 60000:
             self._next_src_port = 30000
         record = FlowRecord(flow_id, src.name, dst.name, size, self.sim.now)
         self.flows_started.append(record)
-        self._send_flow(src, dst, flow_id, size, src_port)
+        send_framed_flow(self.sim, src, dst.ip, flow_id, size, src_port,
+                         self.dst_port, self.flow_rate_bps,
+                         self.packet_size)
+        return record
+
+    def _arrival(self) -> None:
+        if self.sim.now > self._end_at:
+            return
+        self._spawn_flow()
         self.sim.schedule(self.rng.expovariate(self.arrival_rate),
                           self._arrival)
-
-    def _send_flow(self, src: Host, dst: Host, flow_id: int, size: int,
-                   src_port: int) -> None:
-        interval = self.packet_size * 8 / self.flow_rate_bps
-        chunks: List[int] = []
-        remaining = size
-        payload_room = self.packet_size - FLOW_HEADER.size
-        while remaining > 0:
-            chunk = min(remaining, payload_room)
-            chunks.append(chunk)
-            remaining -= chunk
-
-        def send_chunk(index: int) -> None:
-            header = FLOW_HEADER.pack(flow_id, index, size)
-            payload = header + b"\x00" * chunks[index]
-            src.send_udp(dst.ip, src_port, self.dst_port, payload)
-            if index + 1 < len(chunks):
-                self.sim.schedule(interval, send_chunk, index + 1)
-
-        send_chunk(0)
 
 
 class RequestLoad:
@@ -313,9 +358,24 @@ class RequestLoad:
         self.sent = 0
         self.response_times: List[float] = []
         self.timeouts = 0
-        self._pending: Dict[Tuple[str, int], float] = {}
+        #: token -> send time.  Tokens are monotonically unique, so a
+        #: stale timeout can only ever expire its own request — keying
+        #: by (client, port) let a late ``_expire`` pop the *fresh*
+        #: request after the ephemeral port range wrapped, inflating
+        #: ``timeouts`` and eating a real response.
+        self._pending: Dict[int, float] = {}
+        #: (client name, ephemeral port) -> token of the latest request
+        #: in flight on that port (how responses find their token).
+        self._inflight: Dict[Tuple[str, int], int] = {}
+        self._next_token = 0
         self._next_port = 40000
         for client in clients:
+            if client.on_udp is not None:
+                raise TopologyError(
+                    f"host {client.name} already has an on_udp handler; "
+                    f"attaching a second RequestLoad would silently "
+                    f"break the first — give each load its own clients"
+                )
             client.on_udp = self._on_response
         sim.schedule(start + self.rng.expovariate(request_rate),
                      self._arrival)
@@ -323,29 +383,40 @@ class RequestLoad:
     def _arrival(self) -> None:
         if self.sim.now > self._end_at:
             return
-        client = self.rng.choice(self.clients)
+        self._send_one(self.rng.choice(self.clients))
+        self.sim.schedule(self.rng.expovariate(self.request_rate),
+                          self._arrival)
+
+    def _send_one(self, client: Host) -> None:
         port = self._next_port
         self._next_port += 1
         if self._next_port > 60000:
             self._next_port = 40000
+        token = self._next_token
+        self._next_token += 1
         key = (client.name, port)
-        self._pending[key] = self.sim.now
+        self._pending[token] = self.sim.now
+        self._inflight[key] = token
         self.sent += 1
         client.send_udp(self.vip, port, self.REQUEST_PORT, b"request")
-        self.sim.schedule(self.timeout, self._expire, key)
-        self.sim.schedule(self.rng.expovariate(self.request_rate),
-                          self._arrival)
+        self.sim.schedule(self.timeout, self._expire, token, key)
 
     def _on_response(self, packet: Packet, host: Host) -> None:
         udp = packet[UDP]
         key = (host.name, udp.dst_port)
-        sent_at = self._pending.pop(key, None)
+        token = self._inflight.get(key)
+        if token is None:
+            return
+        sent_at = self._pending.pop(token, None)
         if sent_at is not None:
+            del self._inflight[key]
             self.response_times.append(self.sim.now - sent_at)
 
-    def _expire(self, key: Tuple[str, int]) -> None:
-        if self._pending.pop(key, None) is not None:
+    def _expire(self, token: int, key: Tuple[str, int]) -> None:
+        if self._pending.pop(token, None) is not None:
             self.timeouts += 1
+            if self._inflight.get(key) == token:
+                del self._inflight[key]
 
     @property
     def completed(self) -> int:

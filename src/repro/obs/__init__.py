@@ -59,6 +59,7 @@ from repro.obs.slo import (
     SLOEvaluator,
     SeriesSLO,
     default_slos,
+    slo_from_spec,
 )
 
 __all__ = [
@@ -88,6 +89,7 @@ __all__ = [
     "render_openmetrics",
     "save_artifact",
     "series_id",
+    "slo_from_spec",
     "sparkline",
 ]
 

@@ -35,6 +35,7 @@ __all__ = [
     "SLOEvaluator",
     "SeriesSLO",
     "default_slos",
+    "slo_from_spec",
 ]
 
 _OPS = ("<=", ">=")
@@ -417,6 +418,49 @@ class HealthReport:
         verdict = "ok" if self.ok else "ALERTS"
         return (f"<HealthReport {len(self.slos)} SLOs {verdict} "
                 f"@{self.horizon:.3f}s>")
+
+
+def slo_from_spec(doc: dict) -> SLO:
+    """Build an SLO from its declarative (JSON-friendly) form.
+
+    The inverse of :meth:`SLO.spec` for the keys that matter, so
+    workload specs can declare extra objectives::
+
+        {"kind": "series", "name": "fct-p99", "series": "workload_...",
+         "threshold": 0.5, "signal": "quantile", "q": 0.99,
+         "window": 2.0, "prefix": true}
+
+    ``kind`` is ``series`` (default) or ``convergence``; remaining keys
+    mirror the constructor arguments of :class:`SeriesSLO` /
+    :class:`ConvergenceSLO`.
+    """
+    doc = dict(doc)
+    kind = doc.pop("kind", "series").replace("SLO", "").lower()
+    common = {
+        key: doc.pop(key)
+        for key in ("op", "for_s", "resolve_s", "budget", "burn_window",
+                    "severity", "description")
+        if key in doc
+    }
+    if kind == "series":
+        return SeriesSLO(
+            doc.pop("name"), doc.pop("series"), doc.pop("threshold"),
+            signal=doc.pop("signal", "last"),
+            window=doc.pop("window", None),
+            q=doc.pop("q", 0.95),
+            prefix=doc.pop("prefix", False),
+            combine=doc.pop("combine", "max"),
+            **common,
+        )
+    if kind == "convergence":
+        return ConvergenceSLO(
+            doc.pop("name"), doc.pop("threshold"),
+            open_kinds=tuple(doc.pop("open_kinds",
+                                     ("channel_down", "switch_crash"))),
+            close_kinds=tuple(doc.pop("close_kinds", ("resync_done",))),
+            **common,
+        )
+    raise ValueError(f"unknown SLO kind {kind!r}")
 
 
 def default_slos(interval: float = 0.1) -> List[SLO]:

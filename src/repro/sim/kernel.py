@@ -223,6 +223,8 @@ class Simulator:
         self.seed = seed
         self.rng = random.Random(seed)
         self._rng_children = 0
+        #: Named monotone counters handed out by :meth:`next_id`.
+        self._id_counters: dict = {}
         #: Side-channel periodic observers (see :class:`Observer`).  The
         #: run loop pays one float compare per event while any are
         #: registered; ``_obs_next`` is +inf otherwise.
@@ -390,6 +392,22 @@ class Simulator:
                 self._in_observer = False
             self._observers = [o for o in self._observers if o.active]
             self._refresh_obs_next()
+
+    # ------------------------------------------------------------------
+    # Identifiers
+    # ------------------------------------------------------------------
+    def next_id(self, namespace: str = "") -> int:
+        """Allocate the next integer (1, 2, ...) from a named counter.
+
+        Counters live on the simulator, so an id is a deterministic
+        function of allocation order within this run — never of process
+        history — and every component drawing from the same namespace
+        (e.g. all traffic generators allocating flow ids) is guaranteed
+        collision-free.
+        """
+        value = self._id_counters.get(namespace, 0) + 1
+        self._id_counters[namespace] = value
+        return value
 
     # ------------------------------------------------------------------
     # Randomness

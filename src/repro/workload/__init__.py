@@ -1,0 +1,74 @@
+"""repro.workload — declarative scenarios with realistic traffic.
+
+The workload plane closes the loop between the paper's qualitative
+claims and measurable runs: a :class:`~repro.workload.spec.WorkloadSpec`
+(JSON/YAML) names a topology family, a traffic mix, faults, SLOs, and a
+seed; :func:`~repro.workload.runner.run_workload` turns it into a fully
+wired :class:`~repro.core.platform.ZenPlatform` run with the obs plane
+attached, and :func:`~repro.workload.runner.run_suite` fans scenario
+suites across worker processes with bit-identical per-run digests.
+
+Building blocks, usable directly too:
+
+* :mod:`~repro.workload.sizes` — heavy-tailed / lognormal / empirical
+  / elephant-mice flow-size sources;
+* :mod:`~repro.workload.generators` — incast storms, diurnal load
+  modulation, user-count-weighted tenant matrices, and the
+  :func:`~repro.workload.generators.arm_traffic` bridge from spec
+  entries to armed generators;
+* :func:`~repro.workload.spec.library` — the canned scenario set
+  behind benchmark E16 and the CI smoke suite;
+* :func:`~repro.workload.spec.to_check_scenario` — lowers a spec onto
+  the ``repro.check`` fuzzer plane so invariant checking runs under
+  realistic workloads.
+"""
+
+from repro.workload.generators import (
+    DiurnalFlowGenerator,
+    IncastGenerator,
+    TenantMatrix,
+    arm_traffic,
+    ensure_sinks,
+)
+from repro.workload.runner import (
+    WorkloadResult,
+    run_suite,
+    run_workload,
+    suite_digest,
+)
+from repro.workload.sizes import (
+    elephant_mice,
+    empirical_sizes,
+    fixed_sizes,
+    lognormal_sizes,
+    size_source_from_spec,
+)
+from repro.workload.spec import (
+    WorkloadSpec,
+    build_spec_topology,
+    library,
+    load_spec,
+    to_check_scenario,
+)
+
+__all__ = [
+    "DiurnalFlowGenerator",
+    "IncastGenerator",
+    "TenantMatrix",
+    "WorkloadResult",
+    "WorkloadSpec",
+    "arm_traffic",
+    "build_spec_topology",
+    "elephant_mice",
+    "empirical_sizes",
+    "ensure_sinks",
+    "fixed_sizes",
+    "library",
+    "load_spec",
+    "lognormal_sizes",
+    "run_suite",
+    "run_workload",
+    "size_source_from_spec",
+    "suite_digest",
+    "to_check_scenario",
+]

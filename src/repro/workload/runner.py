@@ -1,0 +1,230 @@
+"""Run workload specs: one spec -> one wired, observed platform run.
+
+:func:`run_workload` is the execution engine behind the ``workload``
+CLI and benchmark E16: it builds the spec's topology, starts a
+:class:`~repro.core.platform.ZenPlatform` with telemetry on, installs
+flow sinks that feed a ``workload_fct_seconds`` histogram, arms every
+traffic entry and fault, attaches the obs plane (stock SLOs plus the
+spec's own), and returns a :class:`WorkloadResult` whose
+:class:`~repro.obs.artifact.RunArtifact` plugs straight into
+``repro obs diff`` and the dashboard.
+
+:func:`run_suite` fans a list of specs across worker processes.
+Workers return plain dicts (summaries + serialised artifacts); the
+parent reconstructs and writes the artifacts, so the fan-out changes
+wall-clock only — per-run digests are identical at any ``jobs``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional
+
+from repro.analysis import percentile
+from repro.core import ZenPlatform
+from repro.errors import TopologyError
+from repro.faults import FaultSchedule
+from repro.obs import ObsPlane, RunArtifact, default_slos, slo_from_spec
+from repro.telemetry import Telemetry
+from repro.workload.generators import TenantMatrix, arm_traffic
+from repro.workload.spec import WorkloadSpec, build_spec_topology
+
+__all__ = [
+    "WorkloadResult",
+    "run_suite",
+    "run_workload",
+    "suite_digest",
+]
+
+
+class WorkloadResult:
+    """Outcome of one workload run: summary + obs artifact."""
+
+    __slots__ = ("spec", "summary", "artifact")
+
+    def __init__(self, spec: WorkloadSpec, summary: dict,
+                 artifact: RunArtifact) -> None:
+        self.spec = spec
+        self.summary = summary
+        self.artifact = artifact
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.summary.get("health_ok", False))
+
+    @property
+    def digest(self) -> str:
+        """Stable digest of everything the run produced (bit-identity
+        checks across re-runs and across suite worker counts)."""
+        blob = json.dumps(
+            {"summary": self.summary, "artifact": self.artifact.to_dict()},
+            sort_keys=True,
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.spec.name,
+            "summary": self.summary,
+            "artifact": self.artifact.to_dict(),
+            "digest": self.digest,
+        }
+
+    def __repr__(self) -> str:
+        verdict = "ok" if self.ok else "ALERTS"
+        return (f"<WorkloadResult {self.spec.name!r} "
+                f"{self.summary.get('flows_completed', 0)} flows "
+                f"{verdict}>")
+
+
+def _arm_faults(spec: WorkloadSpec, schedule: FaultSchedule,
+                base: float) -> None:
+    for fault in spec.faults:
+        kind = fault["kind"]
+        at = base + fault["at"]
+        if kind == "link_flap":
+            schedule.link_flap(at, fault["a"], fault["b"],
+                               down_for=fault["down_for"],
+                               period=fault["period"],
+                               count=fault["count"])
+        elif kind == "channel_flap":
+            schedule.channel_flap(at, fault["switch"],
+                                  down_for=fault["down_for"],
+                                  period=fault["period"],
+                                  count=fault["count"])
+        elif kind == "switch_crash":
+            schedule.switch_crash(at, fault["switch"],
+                                  restart_after=fault["restart_after"])
+        else:
+            raise TopologyError(f"unknown fault kind {kind!r}")
+
+
+def run_workload(spec: WorkloadSpec,
+                 out: Optional[str] = None) -> WorkloadResult:
+    """Execute one spec end to end; deterministic in (spec, seed)."""
+    topo = build_spec_topology(spec)
+    platform = ZenPlatform(topo, profile=spec.profile, seed=spec.seed,
+                           telemetry=Telemetry(profile=False))
+    platform.start()
+    net = platform.net
+    sim = platform.sim
+
+    # Static ARP everywhere: workloads measure the dataplane and the
+    # control plane's flow handling, not address resolution.
+    hosts = [net.hosts[n] for n in sorted(net.hosts)]
+    for a in hosts:
+        for b in hosts:
+            if a is not b:
+                a.add_static_arp(b.ip, b.mac)
+
+    fcts: List[float] = []
+    # Zero-label families come back as the bare metric.
+    fct_hist = platform.telemetry.metrics.histogram(
+        "workload_fct_seconds",
+        "flow completion time measured at workload sinks",
+    )
+
+    def on_flow_complete(record) -> None:
+        fcts.append(record.fct)
+        fct_hist.observe(record.fct)
+
+    slos = default_slos(spec.interval) + [slo_from_spec(doc)
+                                          for doc in spec.slos]
+    plane = ObsPlane(platform, interval=spec.interval, slos=slos)
+
+    # Flow-table occupancy: scraped every tick, peak kept in-closure so
+    # the summary does not depend on the ring-buffer capacity.
+    peak = {"flow_entries": 0}
+
+    def flow_entries() -> float:
+        total = sum(dp.flow_count() for dp in net.switches.values())
+        peak["flow_entries"] = max(peak["flow_entries"], total)
+        return float(total)
+
+    plane.scraper.probe("workload_flow_entries", flow_entries)
+
+    schedule = FaultSchedule(net)
+    plane.watch_faults(schedule)
+    base = sim.now
+    _arm_faults(spec, schedule, base)
+
+    tenant_matrix = None
+    if spec.tenants:
+        tenant_matrix = TenantMatrix(sim.fork_rng(), hosts, spec.tenants)
+
+    sinks: Dict[tuple, object] = {}
+    generators = [
+        arm_traffic(sim, hosts, entry, sinks,
+                    on_flow_complete=on_flow_complete,
+                    tenant_matrix=tenant_matrix)
+        for entry in spec.traffic
+    ]
+
+    platform.run(spec.duration)
+    plane.finish()
+
+    flows_started = sum(len(getattr(g, "flows_started", ()))
+                        for g in generators)
+    flows_completed = sum(len(sink.completed_flows())
+                          for sink in sinks.values())
+    summary = {
+        "name": spec.name,
+        "seed": spec.seed,
+        "duration": spec.duration,
+        "flows_started": flows_started,
+        "flows_completed": flows_completed,
+        "fct_p50": percentile(fcts, 50) if fcts else None,
+        "fct_p95": percentile(fcts, 95) if fcts else None,
+        "fct_p99": percentile(fcts, 99) if fcts else None,
+        "flow_table_peak": peak["flow_entries"],
+        "faults_fired": len(schedule.log),
+        "health_ok": plane.report.ok,
+        "alerts": len(plane.report.alerts),
+        "events": sim.events_processed,
+    }
+    artifact = plane.artifact(kind="workload", workload=spec.to_dict(),
+                              summary=summary)
+    if out:
+        artifact.save(out)
+    return WorkloadResult(spec, summary, artifact)
+
+
+def _suite_worker(spec_doc: dict) -> dict:
+    """Pool target: run one spec, return plain picklable data."""
+    result = run_workload(WorkloadSpec.from_dict(spec_doc))
+    return result.to_dict()
+
+
+def run_suite(specs: List[WorkloadSpec], jobs: int = 1,
+              out_dir: Optional[str] = None) -> List[dict]:
+    """Run a scenario suite, optionally across worker processes.
+
+    Returns one :meth:`WorkloadResult.to_dict` per spec, in spec order
+    regardless of worker scheduling.  With ``out_dir`` the parent (not
+    the workers) writes ``<name>.json`` run artifacts there, so
+    ``repro obs diff`` works on any pair of suite outputs.
+    """
+    docs = [spec.to_dict() for spec in specs]
+    if jobs <= 1 or len(docs) <= 1:
+        results = [_suite_worker(doc) for doc in docs]
+    else:
+        import multiprocessing
+
+        with multiprocessing.Pool(min(jobs, len(docs))) as pool:
+            results = pool.map(_suite_worker, docs)
+    if out_dir is not None:
+        import os
+
+        os.makedirs(out_dir, exist_ok=True)
+        for entry in results:
+            RunArtifact.from_dict(entry["artifact"]).save(
+                os.path.join(out_dir, f"{entry['name']}.json"))
+    return results
+
+
+def suite_digest(results: List[dict]) -> str:
+    """One digest over a suite's per-run digests (in suite order)."""
+    blob = json.dumps([{"name": r["name"], "digest": r["digest"]}
+                       for r in results])
+    return hashlib.sha256(blob.encode()).hexdigest()

@@ -1,0 +1,154 @@
+"""Flow-size sources for realistic traffic mixes.
+
+Every source is an infinite generator of integer byte counts driven by
+an injected ``random.Random`` — fork one per consumer with
+:meth:`~repro.sim.kernel.Simulator.fork_rng` so adding a source never
+perturbs another's stream.  :func:`size_source_from_spec` is the
+declarative entry point the scenario plane uses: a small dict names a
+distribution and its parameters.
+
+Alongside the classic Pareto (``repro.netem.pareto_sizes``), this
+module covers the shapes the SDN evaluation literature leans on:
+lognormal service sizes, empirical CDFs lifted from traces, and the
+canonical elephant/mice mixture (most flows tiny, most *bytes* in the
+heavy tail).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.errors import TopologyError
+from repro.netem.traffic import pareto_sizes
+
+__all__ = [
+    "MIN_FLOW_BYTES",
+    "elephant_mice",
+    "empirical_sizes",
+    "fixed_sizes",
+    "lognormal_sizes",
+    "size_source_from_spec",
+]
+
+#: Smallest flow any source emits (one header + a little payload).
+MIN_FLOW_BYTES = 64
+
+
+def fixed_sizes(size: int) -> Iterator[int]:
+    """Every flow exactly ``size`` bytes (calibration workloads)."""
+    if size < MIN_FLOW_BYTES:
+        raise TopologyError(
+            f"flow size must be >= {MIN_FLOW_BYTES}B: {size}"
+        )
+    return itertools.repeat(int(size))
+
+
+def lognormal_sizes(rng, mean: float, sigma: float = 1.0) -> Iterator[int]:
+    """Lognormal sizes with the given *linear-space* mean.
+
+    ``sigma`` is the shape in log space; the location is solved so that
+    ``E[size] == mean`` (mu = ln(mean) - sigma^2 / 2).
+    """
+    if mean <= 0:
+        raise TopologyError(f"lognormal mean must be positive: {mean}")
+    if sigma <= 0:
+        raise TopologyError(f"lognormal sigma must be positive: {sigma}")
+    mu = math.log(mean) - sigma * sigma / 2.0
+    while True:
+        yield max(int(rng.lognormvariate(mu, sigma)), MIN_FLOW_BYTES)
+
+
+def empirical_sizes(rng,
+                    cdf: Sequence[Tuple[float, float]]) -> Iterator[int]:
+    """Inverse-CDF sampling from an empirical (size, cum_prob) table.
+
+    ``cdf`` is a sequence of (size_bytes, cumulative_probability)
+    points sorted by size, ending at probability 1.0 — the form flow
+    traces are usually published in.  Draws interpolate linearly
+    between neighbouring points.
+    """
+    points: List[Tuple[float, float]] = [(float(s), float(p))
+                                         for s, p in cdf]
+    if not points:
+        raise TopologyError("empirical CDF needs at least one point")
+    last_p = 0.0
+    last_s = 0.0
+    for size, prob in points:
+        if size <= last_s and last_p > 0.0:
+            raise TopologyError("empirical CDF sizes must increase")
+        if prob < last_p:
+            raise TopologyError("empirical CDF must be non-decreasing")
+        last_s, last_p = size, prob
+    if abs(points[-1][1] - 1.0) > 1e-9:
+        raise TopologyError("empirical CDF must end at probability 1.0")
+    while True:
+        u = rng.random()
+        prev_size, prev_p = points[0][0], 0.0
+        drawn = points[-1][0]
+        for size, prob in points:
+            if u <= prob:
+                if prob <= prev_p:
+                    drawn = size
+                else:
+                    frac = (u - prev_p) / (prob - prev_p)
+                    drawn = prev_size + (size - prev_size) * frac
+                break
+            prev_size, prev_p = size, prob
+        yield max(int(drawn), MIN_FLOW_BYTES)
+
+
+def elephant_mice(rng, mice_mean: float = 2_000,
+                  elephant_mean: float = 200_000,
+                  elephant_frac: float = 0.05,
+                  shape: float = 1.2) -> Iterator[int]:
+    """The canonical datacenter mixture: mostly mice, bytes in elephants.
+
+    Each arrival is an elephant with probability ``elephant_frac``;
+    class sizes are Pareto around the class mean, so the tail within
+    each class stays heavy too.
+    """
+    if not 0.0 <= elephant_frac <= 1.0:
+        raise TopologyError(
+            f"elephant fraction must be in [0, 1]: {elephant_frac}"
+        )
+    mice = pareto_sizes(rng, mice_mean, shape)
+    elephants = pareto_sizes(rng, elephant_mean, shape)
+    while True:
+        if rng.random() < elephant_frac:
+            yield next(elephants)
+        else:
+            yield next(mice)
+
+
+def size_source_from_spec(rng, spec: dict) -> Iterator[int]:
+    """Build a size source from its declarative form.
+
+    ``spec`` is ``{"dist": name, ...params}``; distributions:
+
+    * ``pareto``     — ``mean``, optional ``shape`` (default 1.2)
+    * ``lognormal``  — ``mean``, optional ``sigma`` (default 1.0)
+    * ``empirical``  — ``cdf``: [[size, cum_prob], ...]
+    * ``fixed``      — ``size``
+    * ``mix``        — ``mice_mean``, ``elephant_mean``,
+      ``elephant_frac``, optional ``shape``
+    """
+    dist = spec.get("dist", "pareto")
+    if dist == "pareto":
+        return pareto_sizes(rng, spec["mean"], spec.get("shape", 1.2))
+    if dist == "lognormal":
+        return lognormal_sizes(rng, spec["mean"], spec.get("sigma", 1.0))
+    if dist == "empirical":
+        return empirical_sizes(rng, [tuple(p) for p in spec["cdf"]])
+    if dist == "fixed":
+        return fixed_sizes(spec["size"])
+    if dist == "mix":
+        return elephant_mice(
+            rng,
+            mice_mean=spec.get("mice_mean", 2_000),
+            elephant_mean=spec.get("elephant_mean", 200_000),
+            elephant_frac=spec.get("elephant_frac", 0.05),
+            shape=spec.get("shape", 1.2),
+        )
+    raise TopologyError(f"unknown size distribution {dist!r}")

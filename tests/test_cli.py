@@ -8,11 +8,19 @@ from repro.cli import build_topology, main
 class TestBuildTopology:
     @pytest.mark.parametrize("name", [
         "linear", "single", "ring", "star", "tree", "fat_tree",
-        "mesh", "waxman",
+        "mesh", "waxman", "carrier_wan",
     ])
     def test_every_builder_validates(self, name):
         topo = build_topology(name, 4, 1e9)
         topo.validate()
+
+    def test_carrier_wan_tiers(self):
+        topo = build_topology("carrier_wan", 4, 1e9)
+        names = {node.name for node in topo.switches}
+        assert {"core0", "core1", "core2", "core3"} <= names
+        assert any(n.startswith("m") for n in names)
+        assert any(n.startswith("a") for n in names)
+        assert topo.hosts
 
     def test_fat_tree_size_rounded_to_even(self):
         topo = build_topology("fat_tree", 3, 1e9)

@@ -1,5 +1,7 @@
 """Workload generator and sink tests."""
 
+import random
+
 import pytest
 
 from repro.dataplane import FlowEntry, Match, Output, PORT_FLOOD
@@ -12,8 +14,9 @@ from repro.netem import (
     Topology,
     pareto_sizes,
 )
+from repro.netem.traffic import allocate_flow_id, send_framed_flow
 from repro.errors import TopologyError
-from repro.packet import UDP
+from repro.packet import IPv4, UDP
 from repro.sim import Simulator
 
 
@@ -61,6 +64,15 @@ class TestCBRStream:
         with pytest.raises(TopologyError):
             CBRStream(h1, h2.ip, rate_bps=1e6, packet_size=4)
 
+    def test_exact_packet_count(self, net):
+        # 1 Mb/s for 2 s at 1000 B/packet is exactly 250 packets; the
+        # tick landing on the end instant must not send a 251st.
+        h1, h2 = net.host("h1"), net.host("h2")
+        stream = CBRStream(h1, h2.ip, rate_bps=1e6, packet_size=1000,
+                           duration=2.0)
+        net.run(3.0)
+        assert stream.packets_sent == 250
+
 
 class TestFlowSink:
     def test_flow_completion_recorded(self, net):
@@ -88,6 +100,90 @@ class TestFlowSink:
         h1.send_udp(h2.ip, 1, 9000, b"tiny")
         net.run(1.0)
         assert sink.flows == {}
+
+    def test_flow_completes_exactly_on_last_packet(self, net):
+        # 985 goodput bytes in 1000-byte packets = 2 chunks (984 + 1).
+        # Counting the 16 framing bytes per packet (the old accounting)
+        # would cross the 985-byte threshold on packet one and record a
+        # zero FCT; goodput accounting needs both packets.
+        h1, h2 = net.host("h1"), net.host("h2")
+        sink = FlowSink(h2, 9000)
+        flow_id = allocate_flow_id(net.sim)
+        packets = send_framed_flow(net.sim, h1, h2.ip, flow_id,
+                                   size=985, src_port=30000,
+                                   dst_port=9000, packet_size=1000)
+        assert packets == 2
+        net.run(1.0)
+        record = sink.flows[flow_id]
+        assert record.completed
+        assert record.packets_received == 2
+        assert record.bytes_received == 985
+        assert record.fct > 0  # spans the inter-packet pacing gap
+
+    def test_goodput_counted_not_wire_bytes(self, net):
+        h1, h2 = net.host("h1"), net.host("h2")
+        sink = FlowSink(h2, 9000)
+        flow_id = allocate_flow_id(net.sim)
+        send_framed_flow(net.sim, h1, h2.ip, flow_id, size=2952,
+                         src_port=30000, dst_port=9000, packet_size=1000)
+        net.run(1.0)
+        record = sink.flows[flow_id]
+        assert record.bytes_received == 2952      # goodput, exact
+        assert sink.total_bytes == 2952 + 3 * 16  # wire bytes keep framing
+
+
+class TestFlowIdAllocation:
+    def test_ids_start_fresh_per_simulator(self, net):
+        # Flow ids come from the simulator, not interpreter-global
+        # class state: a second simulation in the same process must see
+        # the same id sequence, or seeded runs stop being reproducible.
+        first = allocate_flow_id(net.sim)
+        other = Network(Topology.single(3, bandwidth_bps=100e6),
+                        miss_behaviour="drop")
+        assert allocate_flow_id(other.sim) == first
+
+    def test_namespaces_are_independent(self):
+        sim = Simulator()
+        assert sim.next_id("flow") == 1
+        assert sim.next_id("flow") == 2
+        assert sim.next_id("token") == 1
+
+    def test_two_generators_sharing_a_sink_never_collide(self, net):
+        # Two generators used to mint ids from the same fixed starting
+        # point, so flows aimed at one sink silently merged records.
+        h1, h2, h3 = (net.host(n) for n in ("h1", "h2", "h3"))
+        sink = FlowSink(h3, 9000)
+        gen_a = FlowGenerator(
+            net.sim, [h1, h3], arrival_rate=40.0,
+            size_source=iter(lambda: 2000, None), duration=1.0,
+            pair_picker=lambda: (h1, h3),
+        )
+        gen_b = FlowGenerator(
+            net.sim, [h2, h3], arrival_rate=40.0,
+            size_source=iter(lambda: 2000, None), duration=1.0,
+            pair_picker=lambda: (h2, h3),
+        )
+        net.run(3.0)
+        started = gen_a.flows_started + gen_b.flows_started
+        assert len(started) > 10
+        ids = [r.flow_id for r in started]
+        assert len(set(ids)) == len(ids)
+        assert len(sink.flows) == len(ids)
+
+    def test_cbr_ids_share_the_flow_namespace(self, net):
+        h1, h2 = net.host("h1"), net.host("h2")
+        stream = CBRStream(h1, h2.ip, rate_bps=1e6, duration=0.1)
+        assert allocate_flow_id(net.sim) == stream.flow_id + 1
+
+
+class _ScriptedRng:
+    """random()/sample stand-in yielding a scripted sequence."""
+
+    def __init__(self, values):
+        self._values = list(values)
+
+    def random(self):
+        return self._values.pop(0)
 
 
 class TestFlowGenerator:
@@ -129,6 +225,25 @@ class TestFlowGenerator:
         with pytest.raises(TopologyError):
             next(pareto_sizes(sim.fork_rng(), 100, shape=1.0))
 
+    def test_pareto_survives_a_zero_uniform_draw(self):
+        # random() is uniform on [0, 1): an exact 0.0 is legal and used
+        # to raise ZeroDivisionError mid-experiment.  The generator
+        # must redraw instead.
+        gen = pareto_sizes(_ScriptedRng([0.0, 0.0, 0.5, 0.25]), 10_000)
+        first, second = next(gen), next(gen)
+        assert first >= 64 and second >= 64
+        assert second > first  # smaller uniform draw, bigger flow
+
+    def test_pareto_10k_seeded_draws_finite_with_sane_mean(self):
+        rng = random.Random(1234)
+        gen = pareto_sizes(rng, mean=10_000, shape=1.5)
+        samples = [next(gen) for _ in range(10_000)]
+        assert all(isinstance(s, int) and s >= 64 for s in samples)
+        avg = sum(samples) / len(samples)
+        # Heavy tail, so generous bounds — but the mean must be finite
+        # and in the right decade.
+        assert 4_000 < avg < 40_000
+
     def test_generator_needs_two_hosts(self):
         sim = Simulator()
         with pytest.raises(TopologyError):
@@ -161,3 +276,104 @@ class TestRequestLoad:
         net.run(3.0)
         assert load.completed == 0
         assert load.timeouts == load.sent > 0
+
+    def test_refuses_to_clobber_an_existing_udp_handler(self, net):
+        # ``client.on_udp = self._on_response`` used to silently
+        # replace whatever handler was already installed, breaking the
+        # earlier consumer without a trace.
+        h1, h2 = net.host("h1"), net.host("h2")
+        h1.on_udp = lambda pkt, host: None
+        with pytest.raises(TopologyError):
+            RequestLoad(net.sim, [h1], h2.ip, request_rate=10.0)
+
+    def test_port_wrap_does_not_expire_fresh_requests(self, net):
+        # Regression: pending requests were keyed by (client, port).
+        # After the ephemeral range wrapped, a *stale* timeout popped
+        # the *fresh* request on the reused port — counting a timeout
+        # AND orphaning the real response.  Tokens are unique, so the
+        # stale expiry can only claim its own request.
+        h1, h2 = net.host("h1"), net.host("h2")
+        seen = []
+
+        def responder(pkt, host):
+            seen.append(pkt)
+            if len(seen) == 1:
+                return  # drop the first request: it must time out
+            udp = pkt[UDP]
+            host.send_udp(pkt[IPv4].src, udp.dst_port, udp.src_port,
+                          b"response")
+
+        h2.bind_udp(RequestLoad.REQUEST_PORT, responder)
+        # Rate ~0 parks the Poisson arrival far in the future; the test
+        # drives sends by hand to force the port reuse.
+        load = RequestLoad(net.sim, [h1], h2.ip, request_rate=1e-9,
+                           duration=0.0, timeout=0.5)
+        net.sim.schedule(0.0, lambda: load._send_one(h1))
+
+        def resend_on_same_port():
+            load._next_port = 40000  # the wrapped range reuses port 40000
+            load._send_one(h1)
+
+        net.sim.schedule(0.3, resend_on_same_port)
+        net.run(2.0)
+        assert load.sent == 2
+        assert load.timeouts == 1    # only the genuinely dropped request
+        assert load.completed == 1   # the fresh one's response counted
+
+
+class TestSeededDeterminism:
+    def _flow_run(self, seed):
+        network = Network(Topology.single(4, bandwidth_bps=1e9),
+                          miss_behaviour="drop", seed=seed)
+        for name in network.switches:
+            network.switch(name).install_flow(
+                FlowEntry(Match(), [Output(PORT_FLOOD)], priority=0)
+            )
+        hosts = list(network.hosts.values())
+        for a in hosts:
+            for b in hosts:
+                if a is not b:
+                    a.add_static_arp(b.ip, b.mac)
+        sink = FlowSink(hosts[0], 9000)
+        gen = FlowGenerator(
+            network.sim, hosts, arrival_rate=30.0,
+            size_source=pareto_sizes(network.sim.fork_rng(), 5000),
+            duration=2.0,
+        )
+        network.run(4.0)
+        return (
+            [(r.flow_id, r.src, r.dst, r.size, r.start_time)
+             for r in gen.flows_started],
+            sorted((f.flow_id, f.fct) for f in sink.completed_flows()),
+        )
+
+    def test_flow_generator_rerun_is_bit_identical(self):
+        assert self._flow_run(11) == self._flow_run(11)
+
+    def _request_run(self, seed):
+        network = Network(Topology.single(3, bandwidth_bps=1e9),
+                          miss_behaviour="drop", seed=seed)
+        for name in network.switches:
+            network.switch(name).install_flow(
+                FlowEntry(Match(), [Output(PORT_FLOOD)], priority=0)
+            )
+        hosts = list(network.hosts.values())
+        for a in hosts:
+            for b in hosts:
+                if a is not b:
+                    a.add_static_arp(b.ip, b.mac)
+        h1, h2, h3 = hosts
+
+        def responder(pkt, host):
+            udp = pkt[UDP]
+            host.send_udp(pkt[IPv4].src, udp.dst_port, udp.src_port,
+                          b"response")
+
+        h3.bind_udp(RequestLoad.REQUEST_PORT, responder)
+        load = RequestLoad(network.sim, [h1, h2], h3.ip,
+                           request_rate=80.0, duration=1.0)
+        network.run(3.0)
+        return load.sent, load.timeouts, list(load.response_times)
+
+    def test_request_load_rerun_is_bit_identical(self):
+        assert self._request_run(13) == self._request_run(13)
