@@ -15,6 +15,14 @@ compares a machine-normalised quantity from one and the same run:
   digests identical across worker counts, paired run artifacts diff
   clean, and every scenario completed flows.  Gated only when
   ``BENCH_E16.json`` is present.
+* **E17 (sharded kernel)** — bit-identity of the merged observables
+  across shard counts and coordinators (gated on every machine, and
+  against the committed reference digest in
+  ``benchmarks/baseline_e17.json``), plus the 4-shard speedup floor —
+  a pure ratio from one run, gated only on machines with at least
+  ``E17_MIN_CPUS`` CPUs (starved CI runners cannot parallelise and
+  would fail vacuously).  Gated only when ``BENCH_E17.json`` is
+  present.
 
 Usage (after the benchmark smoke run has written the BENCH files)::
 
@@ -38,6 +46,10 @@ E14_CURRENT = os.path.join(os.path.dirname(HERE), "BENCH_E14.json")
 E14_MAX_OVERHEAD_PCT = 5.0   # E14's contract: scrapes cost < 5% wall
 
 E16_CURRENT = os.path.join(os.path.dirname(HERE), "BENCH_E16.json")
+
+E17_CURRENT = os.path.join(os.path.dirname(HERE), "BENCH_E17.json")
+E17_BASELINE = os.path.join(HERE, "baseline_e17.json")
+E17_MIN_CPUS = 4
 
 
 def check_e14() -> int:
@@ -91,6 +103,45 @@ def check_e16() -> int:
     return 0
 
 
+def check_e17() -> int:
+    """Gate the sharded kernel when its benchmark ran; 0 = pass."""
+    if not os.path.exists(E17_CURRENT):
+        print("shard gate: BENCH_E17.json absent, skipping")
+        return 0
+    with open(E17_CURRENT) as fh:
+        current = json.load(fh)
+    with open(E17_BASELINE) as fh:
+        baseline = json.load(fh)
+    identical = current["identical"]
+    cpus = current.get("cpu_count", 1)
+    speedup = current["speedup_4_shards"]
+    floor = current.get("min_speedup", baseline["min_speedup"])
+    print(f"sharded kernel: digests identical across shard "
+          f"counts/coordinators={identical}, 4-shard speedup "
+          f"{speedup:.2f}x (floor {floor:.1f}x, gated when "
+          f">= {E17_MIN_CPUS} CPUs; this run saw {cpus})")
+    if not identical:
+        print("FAIL: sharded observables depend on the shard count")
+        return 1
+    if current["digest"] != baseline["digest"]:
+        print(f"FAIL: sharded bench digest {current['digest'][:16]} "
+              f"drifted from committed reference "
+              f"{baseline['digest'][:16]} — the simulation changed "
+              f"behaviour (or refresh baseline_e17.json deliberately)")
+        return 1
+    if current["flows_completed"] <= 0:
+        print("FAIL: sharded bench completed no flows")
+        return 1
+    if cpus >= E17_MIN_CPUS and speedup < floor:
+        print(f"FAIL: 4-shard speedup {speedup:.2f}x below "
+              f"{floor:.1f}x on a {cpus}-CPU machine")
+        return 1
+    print("OK: sharded kernel bit-identical"
+          + ("" if cpus >= E17_MIN_CPUS
+             else " (speedup floor skipped: too few CPUs)"))
+    return 0
+
+
 def main(argv) -> int:
     current_path = argv[1] if len(argv) > 1 else DEFAULT_CURRENT
     try:
@@ -118,8 +169,11 @@ def main(argv) -> int:
               f"{TOLERANCE:.0%} from baseline {base_speedup:.2f}x")
         return 1
     print("OK: fast path within budget")
-    rc = check_e14()
-    return rc if rc else check_e16()
+    for gate in (check_e14, check_e16, check_e17):
+        rc = gate()
+        if rc:
+            return rc
+    return 0
 
 
 if __name__ == "__main__":

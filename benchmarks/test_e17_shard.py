@@ -1,0 +1,139 @@
+"""E17 — Sharded kernel: conservative-sync speedup and bit-identity.
+
+Question: does partitioning the event loop across worker processes buy
+aggregate event throughput without changing a single observable?
+
+Workload: a k=6 fat-tree (45 switches, 54 hosts, 8 ms links so the
+conservative window amortises IPC) under a heavy-tailed Poisson flow
+mix plus periodic incast bursts.  The identical spec runs on the
+sharded kernel at ``shards=1`` (the oracle: one worker, one inclusive
+window), then at 2 and 4 shards with one OS process per shard, plus a
+4-shard in-process run to isolate coordinator overhead from
+parallelism.
+
+Contracts (the regression gate re-checks these from BENCH_E17.json):
+
+* every merged-observable digest is identical to the oracle's — the
+  partition is semantically invisible;
+* the in-process 4-shard run is bit-identical to the multiprocess one;
+* on hardware with >= 4 CPUs, the 4-shard multiprocess run clears
+  ``MIN_SPEEDUP``x the oracle's wall-clock (skipped on starved CI
+  runners — digest identity is the portable contract).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.analysis import Table
+from repro.sim.shard import run_sharded
+from repro.workload import WorkloadSpec
+
+from harness import publish, publish_json
+
+MIN_SPEEDUP = 3.0          # at --shards 4, when >= 4 CPUs are present
+MIN_CPUS_FOR_SPEEDUP = 4
+
+
+def bench_spec() -> WorkloadSpec:
+    return WorkloadSpec(
+        "e17-shard-bench",
+        topology={"family": "fat_tree",
+                  "params": {"k": 6, "delay": 0.008,
+                             "bandwidth_bps": 1e9}},
+        seed=23,
+        duration=3.0,
+        traffic=[
+            {"kind": "flows", "rate": 400.0,
+             "sizes": {"dist": "mix", "mice_mean": 2_000,
+                       "elephant_mean": 80_000, "elephant_frac": 0.05},
+             "start": 0.2, "duration": 2.5},
+            {"kind": "incast", "fanin": 12, "bytes_per_sender": 20_000,
+             "period": 0.4, "start": 0.3, "duration": 2.4},
+        ],
+    )
+
+
+def drive(shards: int, processes) -> dict:
+    spec = bench_spec()
+    start = time.perf_counter()
+    result = run_sharded(spec, shards=shards, processes=processes)
+    wall = time.perf_counter() - start
+    s = result.summary
+    return {
+        "shards": s["shards"],
+        "processes": s["processes"],
+        "digest": result.digest,
+        "events": s["events"],
+        "rounds": s["rounds"],
+        "flows_completed": s["flows_completed"],
+        "wall_s": wall,
+        "events_per_s": s["events"] / wall,
+    }
+
+
+def run_experiment():
+    oracle = drive(1, False)
+    seq4 = drive(4, False)
+    mp2 = drive(2, True)
+    mp4 = drive(4, True)
+    table = Table(
+        "E17 — sharded kernel, fat-tree k=6, 8ms links",
+        ["config", "events", "rounds", "wall_s", "events_per_s",
+         "digest=oracle"],
+    )
+    for label, row in (("1 shard (oracle)", oracle),
+                       ("4 shards in-proc", seq4),
+                       ("2 shards mp", mp2),
+                       ("4 shards mp", mp4)):
+        table.add_row(label, row["events"], row["rounds"],
+                      f"{row['wall_s']:.2f}",
+                      f"{row['events_per_s']:.0f}",
+                      row["digest"] == oracle["digest"])
+    return table, oracle, seq4, mp2, mp4
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_experiment()
+
+
+def test_e17_shard(results, benchmark):
+    table, oracle, seq4, mp2, mp4 = results
+    publish("e17_shard", table)
+    cpus = os.cpu_count() or 1
+    speedup = oracle["wall_s"] / mp4["wall_s"]
+    publish_json("E17", {
+        "identical": all(r["digest"] == oracle["digest"]
+                         for r in (seq4, mp2, mp4)),
+        "digest": oracle["digest"],
+        "cpu_count": cpus,
+        "oracle_events_per_s": oracle["events_per_s"],
+        "mp4_events_per_s": mp4["events_per_s"],
+        "speedup_4_shards": speedup,
+        "wall_s": {"shards1": oracle["wall_s"],
+                   "shards2_mp": mp2["wall_s"],
+                   "shards4_mp": mp4["wall_s"],
+                   "shards4_seq": seq4["wall_s"]},
+        "events": oracle["events"],
+        "rounds": {"shards1": oracle["rounds"], "shards4": mp4["rounds"]},
+        "flows_completed": oracle["flows_completed"],
+        "min_speedup": MIN_SPEEDUP,
+        "speedup_gated": cpus >= MIN_CPUS_FOR_SPEEDUP,
+    })
+    benchmark.pedantic(lambda: drive(1, False), rounds=1, iterations=1)
+    # Bit-identity is the portable contract: every configuration merges
+    # to the oracle's observables, byte for byte.
+    assert seq4["digest"] == oracle["digest"]
+    assert mp2["digest"] == oracle["digest"]
+    assert mp4["digest"] == oracle["digest"]
+    assert oracle["flows_completed"] > 0
+    # Worker processes change wall-clock only, never the event count.
+    assert mp4["events"] == seq4["events"]
+    if cpus >= MIN_CPUS_FOR_SPEEDUP:
+        assert speedup >= MIN_SPEEDUP, (
+            f"4-shard speedup {speedup:.2f}x below {MIN_SPEEDUP}x on a "
+            f"{cpus}-CPU machine "
+            f"({oracle['wall_s']:.2f}s -> {mp4['wall_s']:.2f}s)"
+        )

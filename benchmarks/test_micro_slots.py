@@ -1,0 +1,98 @@
+"""Microbench — ``__slots__`` on hot-path objects: memory + allocation.
+
+The sharded kernel serialises every cross-shard frame, so packet
+decode (one Header stack allocated per frame per hop) and kernel event
+objects dominate allocation churn at scale.  This bench pins down what
+the slots audit bought and guards against regressions:
+
+* every hot-path class stays ``__dict__``-free (a slotted class that
+  quietly regrows a dict loses both the memory and the lookup win);
+* tracemalloc-measured retained bytes per decoded packet stay under a
+  generous ceiling (a dict per header costs ~100B each on CPython 3.x,
+  so the ceiling distinguishes slots from no-slots cleanly);
+* encode/decode throughput sustains a smoke-floor rate.
+"""
+
+import time
+import tracemalloc
+
+from repro.analysis import Table
+from repro.dataplane.match import FlowKey
+from repro.netem.link import _Direction
+from repro.netem.traffic import FlowRecord
+from repro.obs.series import Rollup, Series
+from repro.packet import ARP, Ethernet, ICMP, IPv4, LLDP, Packet, Raw, TCP, UDP
+from repro.packet.ethernet import VLAN
+from repro.sim.kernel import Event
+
+from harness import publish, publish_json
+
+DECODE_BATCH = 2_000
+PACKET_CEILING_BYTES = 900       # retained bytes per decoded UDP packet
+MIN_CODEC_RATE = 5_000           # encode+decode round trips per second
+
+HOT_CLASSES = [Packet, Raw, Ethernet, VLAN, IPv4, UDP, TCP, ICMP, ARP,
+               LLDP, Event, FlowKey, FlowRecord, Rollup, Series,
+               _Direction]
+
+
+def _sample_frame() -> bytes:
+    return (Ethernet(src="00:00:00:00:00:01", dst="00:00:00:00:00:02")
+            / IPv4(src="10.0.0.1", dst="10.0.0.2", dscp=10)
+            / UDP(src_port=40000, dst_port=9000)
+            / (b"x" * 64)).encode()
+
+
+def bytes_per_packet(n: int = DECODE_BATCH) -> float:
+    frame = _sample_frame()
+    keep = []
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    for _ in range(n):
+        keep.append(Packet.decode(frame))
+    after, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    del keep
+    return (after - before) / n
+
+
+def codec_rate(n: int = DECODE_BATCH) -> float:
+    frame = _sample_frame()
+    start = time.perf_counter()
+    for _ in range(n):
+        Packet.decode(frame).encode()
+    return n / (time.perf_counter() - start)
+
+
+def test_hot_classes_have_no_dict():
+    for cls in HOT_CLASSES:
+        instance_dict = getattr(cls, "__dict__", {}).get("__dict__")
+        assert instance_dict is None, (
+            f"{cls.__name__} grew a per-instance __dict__; add new "
+            f"attributes to its __slots__ instead"
+        )
+
+
+def test_micro_slots():
+    per_packet = bytes_per_packet()
+    rate = codec_rate()
+    table = Table(
+        "micro — slots audit: decoded-packet footprint and codec rate",
+        ["metric", "value"],
+    )
+    table.add_row("retained_bytes_per_packet", f"{per_packet:.0f}")
+    table.add_row("codec_round_trips_per_s", f"{rate:.0f}")
+    table.add_row("slotted_hot_classes", len(HOT_CLASSES))
+    publish("micro_slots", table)
+    publish_json("MICRO_SLOTS", {
+        "retained_bytes_per_packet": per_packet,
+        "codec_round_trips_per_s": rate,
+        "decode_batch": DECODE_BATCH,
+        "slotted_hot_classes": [cls.__name__ for cls in HOT_CLASSES],
+    })
+    assert per_packet < PACKET_CEILING_BYTES, (
+        f"decoded packet retains {per_packet:.0f}B "
+        f"(ceiling {PACKET_CEILING_BYTES}B) — did a header class "
+        f"lose its __slots__?"
+    )
+    assert rate > MIN_CODEC_RATE

@@ -20,6 +20,7 @@ Five commands, aimed at kicking the tyres without writing code:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -443,6 +444,40 @@ def _fmt_fct(value) -> str:
     return f"{value * 1e3:.1f}ms" if value is not None else "-"
 
 
+def _run_profiled(fn, top: int, json_path: str):
+    """Run ``fn`` under cProfile; print top-N cumulative hotspots to
+    stderr and optionally dump the full stats table as JSON."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stderr)
+    print(f"--- cProfile: top {top} by cumulative time ---",
+          file=sys.stderr)
+    stats.sort_stats("cumulative").print_stats(top)
+    if json_path:
+        rows = []
+        for (filename, line, func), (cc, nc, tt, ct, _callers) \
+                in stats.stats.items():
+            rows.append({
+                "file": filename, "line": line, "function": func,
+                "ncalls": nc, "primitive_calls": cc,
+                "tottime": tt, "cumtime": ct,
+            })
+        rows.sort(key=lambda r: r["cumtime"], reverse=True)
+        with open(json_path, "w") as fh:
+            json.dump({"sort": "cumtime", "entries": rows}, fh,
+                      indent=1)
+            fh.write("\n")
+        print(f"profile JSON written to {json_path}", file=sys.stderr)
+    return result
+
+
 def _cmd_workload(args) -> int:
     from repro.workload import (
         library,
@@ -480,14 +515,39 @@ def _cmd_workload(args) -> int:
             raise SystemExit("workload run needs --name or --spec")
         if args.seed is not None:
             spec.seed = args.seed
-        result = run_workload(spec, out=args.out or None)
+        profiling = bool(args.profile or args.profile_json)
+        # cProfile sees only this process, so profiled shard runs use
+        # the in-process coordinator (bit-identical by construction).
+        shard_processes = (False if (args.shard_sequential or profiling)
+                           else None)
+
+        def execute():
+            return run_workload(spec, out=args.out or None,
+                                shards=args.shards,
+                                shard_processes=shard_processes)
+
+        if profiling:
+            result = _run_profiled(execute, args.profile_top,
+                                   args.profile_json)
+        else:
+            result = execute()
         s = result.summary
-        print(f"{spec.name}: {s['flows_completed']}/{s['flows_started']} "
-              f"flows completed, fct p50/p99 "
-              f"{_fmt_fct(s['fct_p50'])}/{_fmt_fct(s['fct_p99'])}, "
-              f"flow-table peak {s['flow_table_peak']}, "
-              f"{s['faults_fired']} fault(s), "
-              f"health {'ok' if s['health_ok'] else 'ALERTS'}")
+        if args.shards is not None:
+            mode = "mp" if s["processes"] else "seq"
+            print(f"{spec.name} [{s['shards']} shard(s), {mode}]: "
+                  f"{s['flows_completed']}/{s['flows_started']} flows "
+                  f"completed, fct p50/p99 "
+                  f"{_fmt_fct(s['fct_p50'])}/{_fmt_fct(s['fct_p99'])}, "
+                  f"{s['events']} events in {s['rounds']} round(s), "
+                  f"{s['wall_s']:.2f}s wall")
+        else:
+            print(f"{spec.name}: "
+                  f"{s['flows_completed']}/{s['flows_started']} "
+                  f"flows completed, fct p50/p99 "
+                  f"{_fmt_fct(s['fct_p50'])}/{_fmt_fct(s['fct_p99'])}, "
+                  f"flow-table peak {s['flow_table_peak']}, "
+                  f"{s['faults_fired']} fault(s), "
+                  f"health {'ok' if s['health_ok'] else 'ALERTS'}")
         print(f"digest {result.digest[:16]}")
         if args.out:
             print(f"run artifact written to {args.out}")
@@ -503,7 +563,8 @@ def _cmd_workload(args) -> int:
     else:
         selection = [specs[n] for n in sorted(specs)]
     results = run_suite(selection, jobs=args.jobs,
-                        out_dir=args.out_dir or None)
+                        out_dir=args.out_dir or None,
+                        shards=args.shards)
     table = Table(f"Workload suite ({args.jobs} job(s))",
                   ["name", "flows", "fct p99", "table peak", "health",
                    "digest"])
@@ -513,8 +574,8 @@ def _cmd_workload(args) -> int:
             entry["name"],
             f"{s['flows_completed']}/{s['flows_started']}",
             _fmt_fct(s["fct_p99"]),
-            s["flow_table_peak"],
-            "ok" if s["health_ok"] else "ALERTS",
+            s.get("flow_table_peak", "-"),
+            "ok" if s.get("health_ok", True) else "ALERTS",
             entry["digest"][:16],
         )
     print(table.render())
@@ -712,6 +773,21 @@ def _parser() -> argparse.ArgumentParser:
                     help="write the run artifact here (run mode)")
     wl.add_argument("--out-dir", default="",
                     help="directory for suite run artifacts")
+    wl.add_argument("--shards", type=int, default=None,
+                    help="run on the sharded kernel with N spatial "
+                         "shards (1 = the differential oracle; merged "
+                         "observables are bit-identical at any N)")
+    wl.add_argument("--shard-sequential", action="store_true",
+                    help="force the in-process shard coordinator "
+                         "instead of one worker process per shard")
+    wl.add_argument("--profile", action="store_true",
+                    help="run under cProfile and print the top "
+                         "cumulative hotspots to stderr (run mode)")
+    wl.add_argument("--profile-top", type=int, default=25,
+                    help="how many hotspots --profile prints")
+    wl.add_argument("--profile-json", default="",
+                    help="also dump the full cProfile stats table as "
+                         "JSON to this path (implies --profile)")
     wl.set_defaults(fn=_cmd_workload)
     return parser
 

@@ -85,6 +85,8 @@ class _Direction:
         "_m_tx_pkts",
         "_m_tx_bytes",
         "_m_drops",
+        "key_base",
+        "_key_seq",
     )
 
     def __init__(self, sim: Simulator, bandwidth_bps: float, delay: float,
@@ -124,6 +126,13 @@ class _Direction:
         #: dropped on arrival instead of crossing a dead wire.
         self.epoch = 0
         self.dropped_cut = 0
+        #: Stable-tie ordering base for arrival events (sharded kernel).
+        #: When set, every arrival is scheduled with the partition-
+        #: independent key ``(key_base, per-direction sequence)`` so a
+        #: frame sorts identically whether its link is shard-local or a
+        #: cross-shard boundary.  ``None`` keeps the legacy int keys.
+        self.key_base: Optional[int] = None
+        self._key_seq = 0
 
     def attach_telemetry(self, telemetry, name: str) -> None:
         """Bind metric children and the tracer; no-op when disabled."""
@@ -191,7 +200,17 @@ class _Direction:
         if self._tracer is not None and packet.trace_id is not None:
             self._tracer.record(packet.trace_id, "link.transit", "link",
                                 start=now, end=arrival, link=self.name)
-        self.sim.schedule_at(arrival, self._arrive, packet, self.epoch)
+        self._schedule_arrival(arrival, packet)
+
+    def _schedule_arrival(self, arrival: float, packet: Packet) -> None:
+        """Queue the delivery event; the boundary stub overrides this to
+        emit a cross-shard message instead."""
+        if self.key_base is None:
+            self.sim.schedule_at(arrival, self._arrive, packet, self.epoch)
+        else:
+            self._key_seq += 1
+            self.sim.schedule_at(arrival, self._arrive, packet, self.epoch,
+                                 key=(self.key_base, self._key_seq))
 
     def _dequeue(self) -> None:
         self.queued -= 1
@@ -254,8 +273,8 @@ class _Direction:
                     start=now, end=now + tx_time + self.delay,
                     link=self.name, band=band,
                 )
-            self.sim.schedule(tx_time + self.delay, self._arrive, packet,
-                              self.epoch)
+            self._schedule_arrival(self.sim.now + (tx_time + self.delay),
+                                   packet)
         self.sim.schedule(tx_time, self._transmit_next)
 
     def utilisation_since_reset(self) -> float:
@@ -298,6 +317,7 @@ class Link:
         queue_capacity: int = 100,
         priority_bands: int = 1,
         classifier=None,
+        rng=None,
     ) -> None:
         if a is b:
             raise TopologyError("link endpoints must differ")
@@ -314,7 +334,10 @@ class Link:
         self.b = b
         self.up = True
         self.priority_bands = priority_bands
-        rng = sim.fork_rng()
+        # Shard-mode networks pass an entity-keyed rng so the loss stream
+        # is a function of the link name, not of construction order.
+        if rng is None:
+            rng = sim.fork_rng()
         self._ab = _Direction(sim, bandwidth_bps, delay, loss_rate,
                               queue_capacity, rng,
                               priority_bands=priority_bands,

@@ -36,6 +36,22 @@ class Network:
         An existing kernel, or ``None`` to create one from ``seed``.
     num_tables / table_capacity / miss_behaviour / eviction_policy:
         Forwarded to every :class:`Datapath`.
+    local_nodes:
+        When given, only these nodes are instantiated; links with
+        exactly one local endpoint become boundary stubs minted by
+        ``boundary_factory`` and links with no local endpoint are
+        skipped entirely.  This is how one shard of a partitioned
+        simulation builds just its slice of the topology — per-switch
+        port numbers still match the unsharded build, because links are
+        walked in global ``topology.links`` order either way.
+    link_keys:
+        Assign each link direction the partition-independent arrival
+        tie key base (``link id * 2 + direction``) and an entity-keyed
+        loss RNG, the sharded kernel's determinism contract.
+    boundary_factory:
+        ``callable(index, spec, local_attachment, local_is_a)`` that
+        returns a link-like boundary stub (see ``repro.sim.shard``).
+        Required when ``local_nodes`` leaves boundary links.
     """
 
     def __init__(
@@ -49,6 +65,9 @@ class Network:
         miss_behaviour: str = "controller",
         telemetry=None,
         fast_path: bool = True,
+        local_nodes=None,
+        link_keys: bool = False,
+        boundary_factory=None,
     ) -> None:
         topology.validate()
         self.topology = topology
@@ -70,8 +89,13 @@ class Network:
         self._next_port: Dict[str, int] = {}
         self._agents: Dict[str, SwitchAgent] = {}
         self._channels: Dict[str, ControlChannel] = {}
+        self._local = set(local_nodes) if local_nodes is not None else None
+        self._link_keys = link_keys
+        self._boundary_factory = boundary_factory
 
         for spec in topology.switches:
+            if self._local is not None and spec.name not in self._local:
+                continue
             dp = Datapath(
                 spec.dpid,
                 self.sim,
@@ -86,12 +110,14 @@ class Network:
             self._port_map[spec.name] = {}
             self._next_port[spec.name] = 1
         for spec in topology.hosts:
+            if self._local is not None and spec.name not in self._local:
+                continue
             self.hosts[spec.name] = Host(
                 self.sim, spec.name, spec.mac, spec.ip,
                 telemetry=telemetry,
             )
-        for link_spec in topology.links:
-            self._build_link(link_spec)
+        for index, link_spec in enumerate(topology.links):
+            self._build_link(link_spec, index)
 
     # ------------------------------------------------------------------
     # Construction plumbing
@@ -109,7 +135,13 @@ class Network:
         host = self.hosts[name]
         return Attachment(name, 0, host.receive)
 
-    def _build_link(self, spec) -> None:
+    def _build_link(self, spec, index: int = 0) -> None:
+        local = self._local
+        if local is not None and spec.a not in local and spec.b not in local:
+            return  # another shard's link entirely
+        if local is not None and (spec.a in local) != (spec.b in local):
+            self._build_boundary(spec, index)
+            return
         att_a = self._attachment_for(spec.a)
         att_b = self._attachment_for(spec.b)
         link = Link(
@@ -120,6 +152,14 @@ class Network:
             queue_capacity=spec.queue_capacity,
             priority_bands=spec.priority_bands,
         )
+        if self._link_keys:
+            # Determinism contract: arrival ordering keyed by link id,
+            # loss draws keyed by (link id, direction) — both invariant
+            # under any partitioning of the topology.
+            link._ab.key_base = index * 2
+            link._ba.key_base = index * 2 + 1
+            link._ab.rng = self.sim.fork_rng(name=f"linkdir:{index}:0")
+            link._ba.rng = self.sim.fork_rng(name=f"linkdir:{index}:1")
         link.attach_telemetry(self.telemetry)
         self.links.append(link)
         self._link_index[(spec.a, spec.b)] = link
@@ -134,6 +174,26 @@ class Network:
                 self._wire_switch_tx(name)
             else:
                 self.hosts[name].attach(link)
+
+    def _build_boundary(self, spec, index: int) -> None:
+        if self._boundary_factory is None:
+            raise TopologyError(
+                f"link {spec.a} -- {spec.b} crosses the shard boundary "
+                f"but no boundary_factory was supplied"
+            )
+        local_is_a = spec.a in self._local
+        local_name = spec.a if local_is_a else spec.b
+        att = self._attachment_for(local_name)
+        link = self._boundary_factory(index, spec, att, local_is_a)
+        self.links.append(link)
+        self._link_index[(spec.a, spec.b)] = link
+        self._link_index[(spec.b, spec.a)] = link
+        other = spec.b if local_is_a else spec.a
+        if local_name in self.switches:
+            self._port_map[local_name][other] = att.port_no
+            self._wire_switch_tx(local_name)
+        else:
+            self.hosts[local_name].attach(link)
 
     def _wire_switch_tx(self, name: str) -> None:
         dp = self.switches[name]

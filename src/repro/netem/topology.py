@@ -150,6 +150,49 @@ class Topology:
                 return link
         return None
 
+    def link_ids(self) -> Dict[Tuple[str, str], int]:
+        """Stable integer id per link — its index in :attr:`links` —
+        keyed by both endpoint orders.
+
+        The sharded kernel uses ``id * 2 + direction`` as the
+        partition-independent tie-break base for arrival events, so the
+        id of a link must never depend on which shard looks at it.
+        """
+        out: Dict[Tuple[str, str], int] = {}
+        for index, link in enumerate(self.links):
+            out[(link.a, link.b)] = index
+            out[(link.b, link.a)] = index
+        return out
+
+    def switch_adjacency(self) -> Dict[str, List[str]]:
+        """Switch name -> sorted neighbouring switch names (hosts
+        excluded).  Sorted so every consumer — the shard partitioner,
+        shortest-path routing — walks the graph in one canonical order."""
+        adj: Dict[str, List[str]] = {s.name: [] for s in self.switches}
+        for link in self.links:
+            if link.a in adj and link.b in adj:
+                adj[link.a].append(link.b)
+                adj[link.b].append(link.a)
+        for name in adj:
+            adj[name].sort()
+        return adj
+
+    def host_attachment(self) -> Dict[str, str]:
+        """Host name -> the switch it hangs off.
+
+        Only meaningful after :meth:`validate` (which guarantees exactly
+        one link per host); with multiple links the first one wins.
+        """
+        out: Dict[str, str] = {}
+        for link in self.links:
+            a_switch = self.nodes[link.a].is_switch
+            b_switch = self.nodes[link.b].is_switch
+            if a_switch and not b_switch and link.b not in out:
+                out[link.b] = link.a
+            elif b_switch and not a_switch and link.a not in out:
+                out[link.a] = link.b
+        return out
+
     def neighbours(self, name: str) -> List[str]:
         out = []
         for link in self.links:

@@ -152,6 +152,7 @@ class CBRStream:
         duration: float = 10.0,
         src_port: int = 20000,
         dst_port: int = 9000,
+        flow_id: Optional[int] = None,
     ) -> None:
         if rate_bps <= 0:
             raise TopologyError(f"CBR rate must be positive: {rate_bps}")
@@ -166,7 +167,11 @@ class CBRStream:
         self.duration = duration
         self.src_port = src_port
         self.dst_port = dst_port
-        self.flow_id = allocate_flow_id(src.sim)
+        # A caller-supplied id bypasses the per-simulator counter: the
+        # sharded engine precomputes flow ids so they cannot depend on
+        # which shard allocates them.
+        self.flow_id = (allocate_flow_id(src.sim) if flow_id is None
+                        else flow_id)
         self.packets_sent = 0
         self.bytes_sent = 0
         self._stopped = False

@@ -21,6 +21,8 @@ class ARP(Header):
     """
 
     name = "arp"
+    __slots__ = ("opcode", "sender_mac", "sender_ip", "target_mac",
+                 "target_ip")
     REQUEST = 1
     REPLY = 2
     _FMT = struct.Struct("!HHBBH6s4s6s4s")

@@ -44,6 +44,13 @@ class Header:
 
     name = "header"
 
+    # No per-instance __dict__: headers are the highest-volume objects
+    # on the hot path (every frame decode allocates a stack of them),
+    # and slots cut both allocation time and per-instance memory.
+    # Subclasses outside repro.packet may omit __slots__ and regain a
+    # __dict__; fields() handles both layouts.
+    __slots__ = ()
+
     def encode(self, following: bytes) -> bytes:
         raise NotImplementedError
 
@@ -62,11 +69,16 @@ class Header:
 
     def fields(self) -> dict:
         """A name→value mapping of the public fields, for repr/tests."""
-        return {
-            k: v
-            for k, v in vars(self).items()
-            if not k.startswith("_")
-        }
+        try:
+            source = vars(self).items()
+        except TypeError:  # slotted subclass: walk declared slots
+            source = (
+                (name, getattr(self, name))
+                for klass in reversed(type(self).__mro__)
+                for name in getattr(klass, "__slots__", ())
+                if hasattr(self, name)
+            )
+        return {k: v for k, v in source if not k.startswith("_")}
 
     def __eq__(self, other: object) -> bool:
         if type(other) is not type(self):
@@ -82,6 +94,7 @@ class Raw(Header):
     """An opaque byte payload presented as a header for uniform stacking."""
 
     name = "raw"
+    __slots__ = ("data",)
 
     def __init__(self, data: bytes = b"") -> None:
         self.data = bytes(data)

@@ -44,6 +44,7 @@ class Ethernet(Header):
     """Ethernet II frame header: dst(6) src(6) ethertype(2)."""
 
     name = "ethernet"
+    __slots__ = ("dst", "src", "ethertype")
     _FMT = struct.Struct("!6s6sH")
 
     def __init__(
@@ -86,6 +87,7 @@ class VLAN(Header):
     """IEEE 802.1Q tag: PCP(3) DEI(1) VID(12), then inner ethertype(2)."""
 
     name = "vlan"
+    __slots__ = ("vid", "pcp", "dei", "ethertype")
     _FMT = struct.Struct("!HH")
 
     def __init__(self, vid: int = 0, pcp: int = 0, dei: int = 0,

@@ -31,6 +31,7 @@ class ICMP(Header):
     """
 
     name = "icmp"
+    __slots__ = ("icmp_type", "code", "ident", "seq")
     _FMT = struct.Struct("!BBHHH")
 
     def __init__(

@@ -46,6 +46,8 @@ class IPv4(Header):
     """
 
     name = "ipv4"
+    __slots__ = ("src", "dst", "proto", "ttl", "dscp", "ecn", "ident",
+                 "flags", "frag_offset")
     _FMT = struct.Struct("!BBHHHBBH4s4s")
 
     def __init__(

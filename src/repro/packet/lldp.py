@@ -42,6 +42,7 @@ class LLDP(Header):
     """An LLDPDU carrying (chassis_id, port_id, ttl)."""
 
     name = "lldp"
+    __slots__ = ("chassis_id", "port_id", "ttl")
 
     def __init__(self, chassis_id: int = 0, port_id: int = 0,
                  ttl: int = 120) -> None:

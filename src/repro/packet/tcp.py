@@ -34,6 +34,8 @@ class TCP(Header):
     """A 20-byte TCP header."""
 
     name = "tcp"
+    __slots__ = ("src_port", "dst_port", "seq", "ack", "flags",
+                 "window", "urgent")
     _FMT = struct.Struct("!HHIIBBHHH")
 
     def __init__(

@@ -23,6 +23,7 @@ class UDP(Header):
     """UDP header: src_port(2) dst_port(2) length(2) checksum(2)."""
 
     name = "udp"
+    __slots__ = ("src_port", "dst_port")
     _FMT = struct.Struct("!HHHH")
 
     def __init__(self, src_port: int = 0, dst_port: int = 0) -> None:

@@ -212,10 +212,20 @@ class Simulator:
         :meth:`fork_rng` child) so a run is fully determined by this value.
     """
 
-    def __init__(self, seed: int = 0, telemetry=None) -> None:
+    def __init__(self, seed: int = 0, telemetry=None,
+                 stable_ties: bool = False) -> None:
         self._now = 0.0
         self._heap: list = []  # (time, seq, Event) tuples
         self._seq = itertools.count()
+        #: Stable-tie mode (the sharded kernel): heap order keys become
+        #: ``(0, seq)`` for ordinary events and ``(1, *key)`` for events
+        #: scheduled with an explicit ``key=``, so same-instant ordering
+        #: of keyed events is a property of the key — not of insertion
+        #: order — and therefore identical no matter how the simulation
+        #: is partitioned across shards.  Off by default: plain int
+        #: sequence keys are cheaper and every legacy seeded run depends
+        #: on them.
+        self._stable_ties = stable_ties
         self._processed = 0
         #: Cancelled-but-still-queued events, maintained by Event.cancel()
         #: and the run loop so pending_events is O(1).
@@ -270,9 +280,17 @@ class Simulator:
         return self.schedule_at(self._now + delay, callback, *args)
 
     def schedule_at(
-        self, time: float, callback: Callable[..., Any], *args: Any
+        self, time: float, callback: Callable[..., Any], *args: Any,
+        key: Optional[tuple] = None,
     ) -> Event:
-        """Run ``callback(*args)`` at absolute simulated ``time``."""
+        """Run ``callback(*args)`` at absolute simulated ``time``.
+
+        ``key`` (stable-tie mode only) pins this event's same-instant
+        ordering to a partition-independent tuple — link arrivals use
+        ``(link id, per-direction sequence)`` so a frame crossing a
+        shard boundary lands in exactly the heap position it would have
+        occupied in an unsharded run.  Ignored outside stable-tie mode.
+        """
         if self._in_observer:
             raise SimulationError(
                 "observers are read-only: scheduling events from an "
@@ -284,7 +302,11 @@ class Simulator:
             )
         event = Event(time, callback, args)
         event._sim = self
-        heapq.heappush(self._heap, (time, next(self._seq), event))
+        if self._stable_ties:
+            order = (1,) + key if key is not None else (0, next(self._seq))
+        else:
+            order = next(self._seq)
+        heapq.heappush(self._heap, (time, order, event))
         return event
 
     def call_every(
@@ -374,9 +396,10 @@ class Simulator:
             default=float("inf"),
         )
 
-    def _fire_observers(self, upto: float) -> None:
+    def _fire_observers(self, upto: float, inclusive: bool = True) -> None:
         """Fire every due tick (tick time <= ``upto``) in time order."""
-        while self._obs_next <= upto:
+        while (self._obs_next <= upto if inclusive
+               else self._obs_next < upto):
             tick = self._obs_next
             self._now = tick
             self._in_observer = True
@@ -412,13 +435,22 @@ class Simulator:
     # ------------------------------------------------------------------
     # Randomness
     # ------------------------------------------------------------------
-    def fork_rng(self) -> random.Random:
+    def fork_rng(self, name: Optional[str] = None) -> random.Random:
         """Derive an independent, deterministic child RNG.
 
         Components that draw random numbers at data rate (e.g. lossy links)
         use a forked stream so adding a new random consumer elsewhere does
         not perturb their sequence.
+
+        With ``name`` the stream is keyed by ``(seed, name)`` instead of
+        by allocation order — the same entity gets the same stream no
+        matter which components were built before it, which is what lets
+        a sharded run reproduce an unsharded one bit for bit.  (String
+        seeding is process-stable in CPython: it hashes via SHA-512, not
+        the randomised ``hash()``.)
         """
+        if name is not None:
+            return random.Random(f"{self.seed}\x1f{name}")
         self._rng_children += 1
         return random.Random((self.seed, self._rng_children).__hash__())
 
@@ -429,6 +461,7 @@ class Simulator:
         self,
         until: Optional[float] = None,
         max_events: Optional[int] = None,
+        exclusive: bool = False,
     ) -> int:
         """Execute events until the queue drains or a bound is hit.
 
@@ -439,6 +472,13 @@ class Simulator:
             the clock is then advanced to ``until``.
         max_events:
             Stop after executing this many events (a runaway-loop guard).
+        exclusive:
+            Treat ``until`` as a half-open bound: events exactly *at*
+            ``until`` stay queued (and observer ticks at ``until`` stay
+            pending).  The sharded kernel's conservative windows are
+            half-open — a cross-shard frame may arrive exactly at the
+            window edge, and it must be merged into the heap before any
+            local event at that instant runs.
 
         Returns
         -------
@@ -458,7 +498,9 @@ class Simulator:
                 heappop(heap)
                 self._cancelled_count -= 1
                 continue
-            if until is not None and time > until:
+            if until is not None and (
+                time > until or (exclusive and time == until)
+            ):
                 break
             heappop(heap)
             event._fired = True
@@ -470,12 +512,29 @@ class Simulator:
         self._processed += executed
         if until is not None and self._now < until:
             if until >= self._obs_next:
-                self._fire_observers(until)
+                self._fire_observers(until, inclusive=not exclusive)
             self._now = until
         if self._tel_on:
             self._m_events.inc(executed)
             self._m_now.set(self._now)
         return executed
+
+    @property
+    def next_event_time(self) -> float:
+        """Time of the earliest pending (non-cancelled) event, or +inf.
+
+        Cancelled entries found at the top of the heap are popped on the
+        way — the same lazy cleanup the run loop performs.
+        """
+        heap = self._heap
+        while heap:
+            time, _seq, event = heap[0]
+            if event.cancelled:
+                heapq.heappop(heap)
+                self._cancelled_count -= 1
+                continue
+            return time
+        return float("inf")
 
     def run_until_idle(self, max_events: int = 10_000_000) -> int:
         """Run until no events remain; guard against infinite loops."""

@@ -1,0 +1,207 @@
+"""Deterministic spatial partitioning of a topology into shards.
+
+The partitioner groups switches into *regions* — fat-tree pods,
+carrier-WAN metro domains, or (for unrecognised name schemes) single
+switches — then packs regions onto shards with a greedy balanced
+assignment.  Hosts always follow their attached switch, so a cut edge
+is always switch-to-switch and its propagation delay is a known lower
+bound on cross-shard causality: the conservative sync lookahead.
+
+Two hard guarantees, property-tested in ``tests/test_shard_partition.py``:
+
+* every node lands in exactly one shard, and
+* every cut link carries strictly positive delay (switches joined by a
+  zero-delay link are fused into one region up front, so they can never
+  be separated).
+
+The result is a pure function of ``(topology, shards)`` — no RNG, no
+iteration-order dependence — so every worker process can recompute the
+same :class:`Partition` from the spec alone.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.errors import TopologyError
+from repro.netem.topology import Topology
+
+__all__ = ["Partition", "partition_topology"]
+
+#: fat_tree builder names: c{i} cores, p{pod}a{i} / p{pod}e{i} switches.
+_FAT_POD = re.compile(r"^p(\d+)[ae]\d+$")
+_FAT_CORE = re.compile(r"^c(\d+)$")
+#: carrier_wan builder names: core{i}, m{i}_{m}, a{i}_{m}_{a}.
+_WAN_CORE = re.compile(r"^core(\d+)$")
+_WAN_METRO = re.compile(r"^m(\d+)_\d+$")
+_WAN_ACCESS = re.compile(r"^a(\d+)_\d+_\d+$")
+
+
+def _region_key(name: str) -> Tuple:
+    """Spatial region label for one switch, by naming convention.
+
+    Keys sort: recognised families cluster by pod/operator region, the
+    generic fallback makes each switch its own region (the packer then
+    just balances switch subtrees).
+    """
+    m = _FAT_POD.match(name)
+    if m:
+        return ("pod", int(m.group(1)))
+    m = _FAT_CORE.match(name)
+    if m:
+        return ("core", int(m.group(1)))
+    m = _WAN_CORE.match(name) or _WAN_METRO.match(name) \
+        or _WAN_ACCESS.match(name)
+    if m:
+        return ("region", int(next(g for g in m.groups() if g is not None)))
+    return ("sw", name)
+
+
+class Partition:
+    """The shard assignment for one topology.
+
+    Attributes
+    ----------
+    shards:
+        Effective shard count (never more than the number of regions).
+    assignment:
+        node name -> shard id, every node exactly once.
+    cut_links:
+        Indices into ``topology.links`` whose endpoints live on
+        different shards.
+    lookahead:
+        ``min(delay)`` over the cut links — the conservative sync
+        window the engine may grant beyond the global minimum event
+        time.  ``inf`` when nothing is cut (single shard).
+    """
+
+    __slots__ = ("topology", "shards", "assignment", "cut_links",
+                 "lookahead")
+
+    def __init__(self, topology: Topology, shards: int,
+                 assignment: Dict[str, int]) -> None:
+        self.topology = topology
+        self.shards = shards
+        self.assignment = assignment
+        self.cut_links: List[int] = []
+        lookahead = float("inf")
+        for index, link in enumerate(topology.links):
+            if assignment[link.a] != assignment[link.b]:
+                self.cut_links.append(index)
+                lookahead = min(lookahead, link.delay)
+        self.lookahead = lookahead
+
+    def nodes_of(self, shard_id: int) -> set:
+        return {name for name, sid in self.assignment.items()
+                if sid == shard_id}
+
+    def shard_of_link_end(self, index: int, direction: int) -> int:
+        """Shard owning the *receiving* end of one link direction
+        (0 = a->b delivers at b, 1 = b->a delivers at a)."""
+        link = self.topology.links[index]
+        return self.assignment[link.b if direction == 0 else link.a]
+
+    def validate(self) -> None:
+        """Re-assert the partition invariants (tests, paranoia)."""
+        nodes = set(self.topology.nodes)
+        assigned = set(self.assignment)
+        if assigned != nodes:
+            raise TopologyError(
+                f"partition must cover every node exactly once; "
+                f"missing={sorted(nodes - assigned)} "
+                f"extra={sorted(assigned - nodes)}"
+            )
+        for index in self.cut_links:
+            link = self.topology.links[index]
+            if link.delay <= 0.0:
+                raise TopologyError(
+                    f"cut link {link.a} -- {link.b} has zero delay; "
+                    f"conservative sync needs positive lookahead"
+                )
+
+    def __repr__(self) -> str:
+        return (f"<Partition {self.shards} shards, "
+                f"{len(self.cut_links)} cut links, "
+                f"lookahead={self.lookahead}>")
+
+
+def partition_topology(topology: Topology, shards: int) -> Partition:
+    """Split ``topology`` into at most ``shards`` spatial shards.
+
+    Deterministic in ``(topology, shards)``.  ``shards <= 1`` returns
+    the trivial single-shard partition (the differential oracle).
+    """
+    if shards < 1:
+        raise TopologyError(f"shard count must be >= 1, got {shards}")
+    switches = [s.name for s in topology.switches]
+    attachment = topology.host_attachment()
+    if shards == 1 or len(switches) <= 1:
+        assignment = {name: 0 for name in topology.nodes}
+        return Partition(topology, 1, assignment)
+
+    # Union-find over switches: fuse endpoints of zero-delay
+    # switch-switch links so a cut edge always has positive delay.
+    parent = {name: name for name in switches}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    switch_set = set(switches)
+    for link in topology.links:
+        if (link.a in switch_set and link.b in switch_set
+                and link.delay <= 0.0):
+            ra, rb = find(link.a), find(link.b)
+            if ra != rb:
+                # Deterministic union: smaller name becomes the root.
+                if rb < ra:
+                    ra, rb = rb, ra
+                parent[rb] = ra
+
+    # Region label per union-find group: the smallest member's key, so
+    # fused switches inherit one spatial identity.
+    groups: Dict[str, List[str]] = {}
+    for name in switches:
+        groups.setdefault(find(name), []).append(name)
+    region_members: Dict[Tuple, List[str]] = {}
+    for members in groups.values():
+        key = min(_region_key(n) for n in members)
+        region_members.setdefault(key, []).extend(members)
+
+    # Greedy balanced packing: heaviest region first onto the lightest
+    # shard, ties broken by region key / lowest shard id — stable.
+    host_count: Dict[str, int] = {}
+    for host, switch in attachment.items():
+        host_count[switch] = host_count.get(switch, 0) + 1
+
+    def weight(members: List[str]) -> int:
+        return len(members) + sum(host_count.get(n, 0) for n in members)
+
+    effective = min(shards, len(region_members))
+    loads = [0] * effective
+    region_shard: Dict[Tuple, int] = {}
+    order = sorted(region_members,
+                   key=lambda k: (-weight(region_members[k]), k))
+    for key in order:
+        target = min(range(effective), key=lambda i: (loads[i], i))
+        region_shard[key] = target
+        loads[target] += weight(region_members[key])
+
+    assignment: Dict[str, int] = {}
+    for key, members in region_members.items():
+        for name in members:
+            assignment[name] = region_shard[key]
+    for host, switch in attachment.items():
+        assignment[host] = assignment[switch]
+    # Hosts the attachment map missed (disconnected descriptions fail
+    # validate() long before this) would surface here as a KeyError in
+    # Partition(); cover them defensively on shard 0.
+    for name in topology.nodes:
+        assignment.setdefault(name, 0)
+
+    part = Partition(topology, effective, assignment)
+    part.validate()
+    return part

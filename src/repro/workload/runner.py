@@ -101,8 +101,23 @@ def _arm_faults(spec: WorkloadSpec, schedule: FaultSchedule,
 
 
 def run_workload(spec: WorkloadSpec,
-                 out: Optional[str] = None) -> WorkloadResult:
-    """Execute one spec end to end; deterministic in (spec, seed)."""
+                 out: Optional[str] = None,
+                 shards: Optional[int] = None,
+                 shard_processes: Optional[bool] = None):
+    """Execute one spec end to end; deterministic in (spec, seed).
+
+    With ``shards`` the run is delegated to the sharded kernel
+    (:func:`repro.sim.shard.run_sharded`) and the return value is a
+    :class:`~repro.sim.shard.ShardedResult` — a static-forwarding
+    execution model whose merged observables are bit-identical at any
+    shard count (``shards=1`` is the oracle).  Without ``shards`` the
+    classic single-loop controller platform below runs unchanged.
+    """
+    if shards is not None:
+        from repro.sim.shard import run_sharded
+
+        return run_sharded(spec, shards=shards,
+                           processes=shard_processes, out=out)
     topo = build_spec_topology(spec)
     platform = ZenPlatform(topo, profile=spec.profile, seed=spec.seed,
                            telemetry=Telemetry(profile=False))
@@ -190,36 +205,54 @@ def run_workload(spec: WorkloadSpec,
     return WorkloadResult(spec, summary, artifact)
 
 
-def _suite_worker(spec_doc: dict) -> dict:
-    """Pool target: run one spec, return plain picklable data."""
-    result = run_workload(WorkloadSpec.from_dict(spec_doc))
+def _suite_worker(job: tuple) -> dict:
+    """Pool target: run one spec, return plain picklable data.
+
+    ``job`` is ``(spec_doc, shards)``; sharded suite runs use the
+    in-process coordinator per spec (the pool already owns the
+    process-level parallelism), which is bit-identical to the
+    multiprocess engine anyway.
+    """
+    spec_doc, shards = job
+    spec = WorkloadSpec.from_dict(spec_doc)
+    if shards is not None:
+        result = run_workload(spec, shards=shards, shard_processes=False)
+    else:
+        result = run_workload(spec)
     return result.to_dict()
 
 
 def run_suite(specs: List[WorkloadSpec], jobs: int = 1,
-              out_dir: Optional[str] = None) -> List[dict]:
+              out_dir: Optional[str] = None,
+              shards: Optional[int] = None) -> List[dict]:
     """Run a scenario suite, optionally across worker processes.
 
-    Returns one :meth:`WorkloadResult.to_dict` per spec, in spec order
-    regardless of worker scheduling.  With ``out_dir`` the parent (not
-    the workers) writes ``<name>.json`` run artifacts there, so
+    Returns one result dict per spec (``WorkloadResult.to_dict`` form,
+    or ``ShardedResult.to_dict`` when ``shards`` is given), in spec
+    order regardless of worker scheduling.  With ``out_dir`` the parent
+    (not the workers) writes ``<name>.json`` run artifacts there, so
     ``repro obs diff`` works on any pair of suite outputs.
     """
-    docs = [spec.to_dict() for spec in specs]
-    if jobs <= 1 or len(docs) <= 1:
-        results = [_suite_worker(doc) for doc in docs]
+    jobs_in = [(spec.to_dict(), shards) for spec in specs]
+    if jobs <= 1 or len(jobs_in) <= 1:
+        results = [_suite_worker(job) for job in jobs_in]
     else:
         import multiprocessing
 
-        with multiprocessing.Pool(min(jobs, len(docs))) as pool:
-            results = pool.map(_suite_worker, docs)
+        with multiprocessing.Pool(min(jobs, len(jobs_in))) as pool:
+            results = pool.map(_suite_worker, jobs_in)
     if out_dir is not None:
         import os
 
         os.makedirs(out_dir, exist_ok=True)
         for entry in results:
-            RunArtifact.from_dict(entry["artifact"]).save(
-                os.path.join(out_dir, f"{entry['name']}.json"))
+            path = os.path.join(out_dir, f"{entry['name']}.json")
+            if "artifact" in entry:
+                RunArtifact.from_dict(entry["artifact"]).save(path)
+            else:  # sharded run: the result document is the artifact
+                with open(path, "w") as fh:
+                    json.dump(entry, fh, indent=1, sort_keys=True)
+                    fh.write("\n")
     return results
 
 

@@ -1,0 +1,158 @@
+"""Property tests for the shard partitioner.
+
+The partitioner's two hard invariants (every node in exactly one
+shard; every cut link strictly positive delay) plus determinism are
+what the conservative-sync engine's correctness proof leans on, so
+they are asserted here across every builder family the workload specs
+use and a sweep of shard counts.
+"""
+
+import random
+import re
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.netem import Topology
+from repro.sim.shard import partition_topology
+
+
+def _families():
+    return {
+        "fat_tree_k4": Topology.fat_tree(4),
+        "fat_tree_k4_slow": Topology.fat_tree(4, delay=0.001),
+        "carrier_wan": Topology.carrier_wan(cores=3, metros_per_core=2,
+                                            access_per_metro=2,
+                                            hosts_per_access=2),
+        "linear": Topology.linear(6, hosts_per_switch=2),
+        "waxman": Topology.waxman(12, hosts_per_switch=1, seed=7),
+        "star": Topology.star(5),
+        "single": Topology.single(4),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(_families()))
+@pytest.mark.parametrize("shards", [1, 2, 3, 4, 8])
+def test_every_node_in_exactly_one_shard(name, shards):
+    topo = _families()[name]
+    part = partition_topology(topo, shards)
+    part.validate()
+    assert set(part.assignment) == set(topo.nodes)
+    # Exactly one shard per node, and every shard id is in range.
+    for node, shard in part.assignment.items():
+        assert 0 <= shard < part.shards, (node, shard)
+    # No shard is empty: effective count adapts to the region count.
+    populated = {shard for shard in part.assignment.values()}
+    assert populated == set(range(part.shards))
+
+
+@pytest.mark.parametrize("name", sorted(_families()))
+@pytest.mark.parametrize("shards", [2, 4, 8])
+def test_cut_links_have_positive_delay(name, shards):
+    topo = _families()[name]
+    part = partition_topology(topo, shards)
+    for index in part.cut_links:
+        link = topo.links[index]
+        assert link.delay > 0.0, (link.a, link.b)
+        assert part.assignment[link.a] != part.assignment[link.b]
+    if part.cut_links:
+        assert part.lookahead == min(topo.links[i].delay
+                                     for i in part.cut_links)
+        assert part.lookahead > 0.0
+    else:
+        assert part.lookahead == float("inf")
+
+
+def test_zero_delay_links_are_never_cut():
+    # Hand-build a topology where two "pods" are joined by a zero-delay
+    # trunk: the trunk endpoints must be fused into one region.
+    topo = Topology()
+    for name in ("s1", "s2", "s3", "s4"):
+        topo.add_switch(name)
+    topo.add_link("s1", "s2", delay=0.0)       # must never be cut
+    topo.add_link("s2", "s3", delay=0.001)
+    topo.add_link("s3", "s4", delay=0.0)       # must never be cut
+    for i, switch in enumerate(("s1", "s2", "s3", "s4")):
+        topo.add_host(f"h{i}")
+        topo.add_link(f"h{i}", switch)
+    for shards in (2, 3, 4):
+        part = partition_topology(topo, shards)
+        part.validate()
+        assert part.assignment["s1"] == part.assignment["s2"]
+        assert part.assignment["s3"] == part.assignment["s4"]
+
+
+@pytest.mark.parametrize("name", sorted(_families()))
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_partition_is_deterministic(name, shards):
+    first = partition_topology(_families()[name], shards)
+    for _ in range(3):
+        again = partition_topology(_families()[name], shards)
+        assert again.assignment == first.assignment
+        assert again.cut_links == first.cut_links
+        assert again.lookahead == first.lookahead
+        assert again.shards == first.shards
+
+
+def test_hosts_follow_their_switch():
+    topo = Topology.fat_tree(4)
+    part = partition_topology(topo, 4)
+    for host, switch in topo.host_attachment().items():
+        assert part.assignment[host] == part.assignment[switch]
+
+
+def test_fat_tree_pods_stay_whole():
+    topo = Topology.fat_tree(4)
+    part = partition_topology(topo, 4)
+    pods = {}
+    for spec in topo.switches:
+        m = re.match(r"^p(\d+)[ae]\d+$", spec.name)
+        if m:
+            pods.setdefault(m.group(1), set()).add(
+                part.assignment[spec.name])
+    for pod, shards_used in pods.items():
+        assert len(shards_used) == 1, (pod, shards_used)
+
+
+def test_shard_of_link_end():
+    topo = Topology.fat_tree(4)
+    part = partition_topology(topo, 2)
+    for index in part.cut_links:
+        link = topo.links[index]
+        assert part.shard_of_link_end(index, 0) == part.assignment[link.b]
+        assert part.shard_of_link_end(index, 1) == part.assignment[link.a]
+
+
+def test_effective_shards_never_exceed_regions():
+    # A linear chain of 3 switches has 3 fallback regions at most.
+    topo = Topology.linear(3, hosts_per_switch=1)
+    part = partition_topology(topo, 16)
+    assert part.shards <= 3
+    part.validate()
+
+
+def test_random_topologies_hold_invariants():
+    rng = random.Random(42)
+    for trial in range(10):
+        topo = Topology()
+        n = rng.randint(2, 12)
+        for i in range(n):
+            topo.add_switch(f"x{i}")
+        # Random connected switch graph with mixed delays.
+        for i in range(1, n):
+            j = rng.randrange(i)
+            topo.add_link(f"x{i}", f"x{j}",
+                          delay=rng.choice([0.0, 0.0001, 0.002]))
+        for i in range(n):
+            if rng.random() < 0.7:
+                topo.add_host(f"x{i}h")
+                topo.add_link(f"x{i}h", f"x{i}")
+        for shards in (1, 2, 4):
+            part = partition_topology(topo, shards)
+            part.validate()
+            assert set(part.assignment) == set(topo.nodes)
+
+
+def test_invalid_shard_count_raises():
+    with pytest.raises(TopologyError):
+        partition_topology(Topology.linear(2), 0)
