@@ -11,6 +11,12 @@ compares a machine-normalised quantity from one and the same run:
   overhead reaches ``E14_MAX_OVERHEAD_PCT`` or the seeded run was
   perturbed.  Gated only when ``BENCH_E14.json`` is present, so the
   fast-path gate keeps working on partial benchmark runs.
+* **E15 (controller cluster)** — the crash-recovery verdicts: every
+  run delivered 100% before and after the crash with clean cluster
+  invariants, 2- and 3-controller failover completed within the
+  recovery SLO (sim time, machine-independent), and recovery never
+  degraded as the cluster grew.  Gated only when ``BENCH_E15.json`` is
+  present.
 * **E16 (workload suite)** — the reproducibility verdicts: per-scenario
   digests identical across worker counts, paired run artifacts diff
   clean, and every scenario completed flows.  Gated only when
@@ -45,6 +51,8 @@ HARD_FLOOR = 2.0   # E12's contract, machine-independent
 E14_CURRENT = os.path.join(os.path.dirname(HERE), "BENCH_E14.json")
 E14_MAX_OVERHEAD_PCT = 5.0   # E14's contract: scrapes cost < 5% wall
 
+E15_CURRENT = os.path.join(os.path.dirname(HERE), "BENCH_E15.json")
+
 E16_CURRENT = os.path.join(os.path.dirname(HERE), "BENCH_E16.json")
 
 E17_CURRENT = os.path.join(os.path.dirname(HERE), "BENCH_E17.json")
@@ -72,6 +80,42 @@ def check_e14() -> int:
               f"{E14_MAX_OVERHEAD_PCT:.1f}%")
         return 1
     print("OK: obs plane within budget")
+    return 0
+
+
+def check_e15() -> int:
+    """Gate the controller cluster when its benchmark ran; 0 = pass."""
+    if not os.path.exists(E15_CURRENT):
+        print("cluster gate: BENCH_E15.json absent, skipping")
+        return 0
+    with open(E15_CURRENT) as fh:
+        current = json.load(fh)
+    recovery = current["recovery_s"]
+    slo = current["recovery_slo_s"]
+    summary = ", ".join(f"N={n}: {recovery[n]:.3f}s"
+                        for n in sorted(recovery))
+    print(f"controller cluster: recovery {summary} "
+          f"(failover SLO {slo:.2f}s), clean={current['clean']}, "
+          f"delivered={current['delivered']}")
+    if not current["clean"]:
+        print("FAIL: cluster invariants violated after recovery")
+        return 1
+    if not current["delivered"]:
+        print("FAIL: a cluster run dropped traffic before or after "
+              "the crash")
+        return 1
+    solo = recovery["1"]
+    for n in ("2", "3"):
+        if recovery[n] > slo:
+            print(f"FAIL: {n}-controller failover took "
+                  f"{recovery[n]:.3f}s, over the {slo:.2f}s SLO")
+            return 1
+        if recovery[n] >= solo:
+            print(f"FAIL: {n}-controller failover ({recovery[n]:.3f}s) "
+                  f"no faster than the single-controller restart "
+                  f"({solo:.3f}s)")
+            return 1
+    print("OK: cluster failover within SLO and faster than a restart")
     return 0
 
 
@@ -169,7 +213,7 @@ def main(argv) -> int:
               f"{TOLERANCE:.0%} from baseline {base_speedup:.2f}x")
         return 1
     print("OK: fast path within budget")
-    for gate in (check_e14, check_e16, check_e17):
+    for gate in (check_e14, check_e15, check_e16, check_e17):
         rc = gate()
         if rc:
             return rc

@@ -21,11 +21,13 @@ The verification plane, in three layers:
 ``python -m repro check`` exposes the verify/fuzz workflow on the CLI.
 """
 
+from repro.check.cluster import ClusterViolation, check_cluster
 from repro.check.fuzzer import (
     Scenario,
     ScenarioResult,
     example_scenarios,
     fuzz,
+    generate_cluster_scenario,
     generate_scenario,
     load_scenario,
     minimize,
@@ -71,6 +73,7 @@ __all__ = [
     "CheckContext",
     "CheckRecord",
     "CheckResult",
+    "ClusterViolation",
     "ConcreteTrace",
     "DatapathSnap",
     "DEFAULT_INVARIANTS",
@@ -91,9 +94,11 @@ __all__ = [
     "TableSnap",
     "Terminal",
     "Violation",
+    "check_cluster",
     "example_scenarios",
     "explore",
     "fuzz",
+    "generate_cluster_scenario",
     "generate_scenario",
     "load_scenario",
     "minimize",

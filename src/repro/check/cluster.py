@@ -1,0 +1,162 @@
+"""Cluster-level invariants: mastership safety and state convergence.
+
+The dataplane invariant catalogue (:mod:`repro.check.invariants`) asks
+"does the network forward correctly"; this module asks "is the control
+plane *coherent*" — questions that only exist once several controller
+instances share the fabric:
+
+* **single-master** — no two mutually-reachable instances may both
+  claim mastership of one switch, and no datapath may hold more than
+  one PRIMARY control connection.  (Two claimants on *opposite* sides
+  of an east-west partition are not a violation: the switch-side
+  generation fence guarantees at most one of them can mutate state,
+  and the partition checker only flags claimants who could actually
+  have seen each other.)
+* **no-orphans** — once handover has completed, every switch reachable
+  from a quorum-holding component must have a master inside it.
+* **convergence** — mutually-reachable quorum members must agree on
+  the replicated intent ledger and per-switch mastership terms.
+
+All checks are read-only over live cluster state; like the dataplane
+checkers they never repair anything.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["ClusterViolation", "check_cluster"]
+
+
+class ClusterViolation:
+    """One confirmed cluster-invariant breach."""
+
+    __slots__ = ("invariant", "kind", "message", "dpid", "nodes", "time")
+
+    def __init__(self, invariant: str, kind: str, message: str,
+                 dpid: Optional[int] = None, nodes=(),
+                 time: float = 0.0) -> None:
+        self.invariant = invariant
+        self.kind = kind
+        self.message = message
+        self.dpid = dpid
+        self.nodes = tuple(nodes)
+        self.time = time
+
+    def to_dict(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "kind": self.kind,
+            "message": self.message,
+            "dpid": self.dpid,
+            "nodes": list(self.nodes),
+            "time": self.time,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClusterViolation {self.invariant}/{self.kind}: "
+            f"{self.message}>"
+        )
+
+
+def _ledger_digest(node, dpid) -> tuple:
+    """Canonical, comparable form of one node's ledger for one switch."""
+    entries = node._ledger.get(dpid, {})
+    return tuple(sorted(
+        (repr(key), tuple(sorted((k, repr(v)) for k, v in spec.items())))
+        for key, spec in entries.items()
+    ))
+
+
+def check_cluster(cluster, net=None) -> List["ClusterViolation"]:
+    """Evaluate the cluster invariants; empty list means clean.
+
+    ``net`` (the emulated :class:`~repro.netem.network.Network`)
+    additionally enables the switch-side check that no datapath holds
+    two PRIMARY control connections — the ground truth the
+    controller-side claims are fenced against.
+    """
+    bus = cluster.bus
+    now = cluster.sim.now
+    violations: List[ClusterViolation] = []
+
+    # ------------------------------------------------------------ claims
+    # Controller-side: mutually-reachable double claims.
+    claims = cluster.masters()
+    for dpid in sorted(claims):
+        claimants = sorted(claims[dpid])
+        for i, a in enumerate(claimants):
+            for b in claimants[i + 1:]:
+                if bus.reachable(a, b):
+                    violations.append(ClusterViolation(
+                        "single-master", "dual_master",
+                        f"nodes {a} and {b} both claim switch {dpid} "
+                        f"while mutually reachable",
+                        dpid=dpid, nodes=(a, b), time=now,
+                    ))
+
+    # Switch-side: at most one PRIMARY connection per datapath.
+    if net is not None:
+        from repro.southbound.messages import ControllerRole
+        for name in sorted(net.switches):
+            agents = net.agents_of(name)
+            primaries = [
+                i for i, agent in enumerate(agents)
+                if agent.controller_role == ControllerRole.PRIMARY
+            ]
+            if len(primaries) > 1:
+                violations.append(ClusterViolation(
+                    "single-master", "dual_primary_connection",
+                    f"switch {name} holds {len(primaries)} PRIMARY "
+                    f"connections (instances {primaries})",
+                    dpid=net.switches[name].dpid,
+                    nodes=tuple(primaries), time=now,
+                ))
+
+    # ----------------------------------------------------------- orphans
+    # Only meaningful once the post-fault reassignment has landed.
+    if cluster.handover_complete():
+        quorum_nodes = sorted(
+            n for n in bus.alive if bus.has_quorum(n)
+        )
+        if quorum_nodes:
+            for dpid in sorted(cluster.dpids):
+                owners = [n for n in claims.get(dpid, ())
+                          if n in quorum_nodes]
+                if not owners:
+                    violations.append(ClusterViolation(
+                        "no-orphans", "orphaned_switch",
+                        f"switch {dpid} has no master in the "
+                        f"quorum-holding component {quorum_nodes}",
+                        dpid=dpid, nodes=tuple(quorum_nodes), time=now,
+                    ))
+
+    # ------------------------------------------------------- convergence
+    # Every mutually-reachable pair of quorum members must agree on
+    # terms and ledger contents, switch by switch.
+    members = sorted(n for n in bus.alive if bus.has_quorum(n))
+    for i, a in enumerate(members):
+        for b in members[i + 1:]:
+            if not bus.reachable(a, b):
+                continue
+            na, nb = cluster.node(a), cluster.node(b)
+            for dpid in sorted(cluster.dpids):
+                ta = na.terms.get(dpid, 0)
+                tb = nb.terms.get(dpid, 0)
+                if ta != tb:
+                    violations.append(ClusterViolation(
+                        "convergence", "term_divergence",
+                        f"nodes {a} and {b} disagree on the term of "
+                        f"switch {dpid} ({ta} vs {tb})",
+                        dpid=dpid, nodes=(a, b), time=now,
+                    ))
+                    continue
+                if _ledger_digest(na, dpid) != _ledger_digest(nb, dpid):
+                    violations.append(ClusterViolation(
+                        "convergence", "ledger_divergence",
+                        f"nodes {a} and {b} hold different intent "
+                        f"ledgers for switch {dpid}",
+                        dpid=dpid, nodes=(a, b), time=now,
+                    ))
+    return violations

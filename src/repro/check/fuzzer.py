@@ -33,6 +33,7 @@ __all__ = [
     "Scenario",
     "ScenarioResult",
     "generate_scenario",
+    "generate_cluster_scenario",
     "run_scenario",
     "platform_observables",
     "result_digest",
@@ -55,13 +56,13 @@ class Scenario:
     """One fuzz case: everything needed to reproduce a run."""
 
     __slots__ = ("seed", "name", "topology", "size", "profile", "stack",
-                 "workload", "faults", "settle")
+                 "workload", "faults", "settle", "controllers")
 
     def __init__(self, seed: int, name: str, topology: str, size: int,
                  profile: str, stack: str = "plain",
                  workload: Optional[List[dict]] = None,
                  faults: Optional[List[dict]] = None,
-                 settle: float = 8.0) -> None:
+                 settle: float = 8.0, controllers: int = 1) -> None:
         self.seed = seed
         self.name = name
         self.topology = topology
@@ -74,9 +75,12 @@ class Scenario:
         self.workload = workload if workload is not None else []
         self.faults = faults if faults is not None else []
         self.settle = settle
+        #: Controller instances; > 1 runs the scenario on a ZenCluster
+        #: ("plain" stack only) and unlocks the controller fault kinds.
+        self.controllers = controllers
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "version": SCENARIO_VERSION,
             "seed": self.seed,
             "name": self.name,
@@ -88,6 +92,11 @@ class Scenario:
             "faults": list(self.faults),
             "settle": self.settle,
         }
+        # Only cluster scenarios carry the key, so every committed
+        # single-controller digest stays byte-identical.
+        if self.controllers != 1:
+            doc["controllers"] = self.controllers
+        return doc
 
     @classmethod
     def from_dict(cls, data: dict) -> "Scenario":
@@ -98,6 +107,7 @@ class Scenario:
             workload=list(data.get("workload", [])),
             faults=list(data.get("faults", [])),
             settle=data.get("settle", 8.0),
+            controllers=data.get("controllers", 1),
         )
 
     def horizon(self) -> float:
@@ -110,10 +120,13 @@ class Scenario:
             last = max(last, entry["at"]
                        + float(entry.get("duration", 0.0)) + 1.0)
         for fault in self.faults:
-            if fault["kind"] in ("link_flap", "channel_flap"):
+            kind = fault["kind"]
+            if kind in ("link_flap", "channel_flap"):
                 last = max(last, fault["at"]
                            + fault["count"] * fault["period"])
-            else:  # switch_crash
+            elif kind == "controller_partition":
+                last = max(last, fault["at"] + fault["heal_after"])
+            else:  # switch_crash / controller_crash
                 last = max(last, fault["at"] + fault["restart_after"])
         return last + self.settle
 
@@ -217,6 +230,79 @@ def generate_scenario(seed: int) -> Scenario:
     return scenario
 
 
+def generate_cluster_scenario(seed: int) -> Scenario:
+    """A deterministic cluster fuzz case — same seed, same scenario.
+
+    Seeded on a *distinct* stream from :func:`generate_scenario` so the
+    committed single-controller corpus digests are untouched.  Fault
+    kinds are restricted to the cluster-safe set: link/channel flaps
+    plus controller crashes and east-west partitions (all recovering),
+    never ``switch_crash`` — agent reboot semantics across N instances
+    is exercised by the dedicated cluster tests instead.
+    """
+    rng = random.Random(f"cluster-{seed}")
+    kind = rng.choice(_TOPOLOGY_KINDS)
+    size = rng.randint(3, 5)
+    profile = rng.choice(_PROFILES)
+    controllers = rng.randint(2, 3)
+    scenario = Scenario(seed, f"cluster-fuzz-{seed}", kind, size, profile,
+                        controllers=controllers)
+
+    topo = _build_topology(kind, size)
+    switch_names = sorted(
+        n.name for n in topo.nodes.values() if n.is_switch
+    )
+    host_names = sorted(
+        n.name for n in topo.nodes.values() if not n.is_switch
+    )
+    switch_links = sorted(
+        (link.a, link.b) for link in topo.links
+        if topo.nodes[link.a].is_switch and topo.nodes[link.b].is_switch
+    )
+
+    for _ in range(rng.randint(2, 4)):
+        src, dst = rng.sample(host_names, 2)
+        scenario.workload.append({
+            "src": src, "dst": dst,
+            "at": round(rng.uniform(0.2, 2.0), 3),
+        })
+
+    for _ in range(rng.randint(1, 3)):
+        roll = rng.random()
+        at = round(rng.uniform(0.5, 3.0), 3)
+        if roll < 0.25 and switch_links:
+            a, b = rng.choice(switch_links)
+            down_for = round(rng.uniform(0.3, 0.8), 3)
+            scenario.faults.append({
+                "kind": "link_flap", "a": a, "b": b, "at": at,
+                "down_for": down_for,
+                "period": round(down_for + rng.uniform(0.7, 1.5), 3),
+                "count": rng.randint(1, 2),
+            })
+        elif roll < 0.45:
+            down_for = round(rng.uniform(0.3, 0.8), 3)
+            scenario.faults.append({
+                "kind": "channel_flap",
+                "switch": rng.choice(switch_names), "at": at,
+                "down_for": down_for,
+                "period": round(down_for + rng.uniform(0.7, 1.5), 3),
+                "count": rng.randint(1, 2),
+            })
+        elif roll < 0.8:
+            scenario.faults.append({
+                "kind": "controller_crash",
+                "node": rng.randrange(controllers), "at": at,
+                "restart_after": round(rng.uniform(0.5, 1.2), 3),
+            })
+        else:
+            scenario.faults.append({
+                "kind": "controller_partition",
+                "minority": [rng.randrange(controllers)], "at": at,
+                "heal_after": round(rng.uniform(0.5, 1.2), 3),
+            })
+    return scenario
+
+
 def _build_topology(kind: str, size: int):
     from repro.cli import build_topology
 
@@ -230,6 +316,17 @@ def _build_topology(kind: str, size: int):
 def _build_stack(scenario: Scenario, fast_path: bool,
                  telemetry=None) -> ZenPlatform:
     topo = _build_topology(scenario.topology, scenario.size)
+    if scenario.controllers > 1:
+        if scenario.stack != "plain":
+            raise ValueError(
+                f"cluster scenarios need the plain stack, "
+                f"not {scenario.stack!r}"
+            )
+        from repro.cluster import ZenCluster
+
+        return ZenCluster(topo, controllers=scenario.controllers,
+                          profile=scenario.profile, seed=scenario.seed,
+                          fast_path=fast_path, telemetry=telemetry)
     if scenario.stack == "plain":
         return ZenPlatform(topo, profile=scenario.profile,
                            seed=scenario.seed, fast_path=fast_path,
@@ -286,6 +383,17 @@ def _arm_faults(scenario: Scenario, schedule: FaultSchedule,
         elif kind == "switch_crash":
             schedule.switch_crash(at, fault["switch"],
                                   restart_after=fault["restart_after"])
+        elif kind == "controller_crash":
+            schedule.controller_crash(
+                at, fault["node"], restart_after=fault["restart_after"]
+            )
+        elif kind == "controller_partition":
+            minority = list(fault["minority"])
+            rest = [n for n in range(scenario.controllers)
+                    if n not in minority]
+            schedule.controller_partition(
+                at, [minority, rest], heal_after=fault["heal_after"]
+            )
         else:
             raise ValueError(f"unknown fault kind {kind!r}")
 
@@ -354,6 +462,8 @@ def run_scenario(scenario: Scenario, fast_path: bool = True,
     if checker is None:
         checker = NetworkChecker()
     schedule = FaultSchedule(net)
+    if scenario.controllers > 1:
+        schedule.attach_cluster(platform.cluster)
     mon: Optional[InvariantMonitor] = None
     if monitor:
         mon = InvariantMonitor(net, checker)
@@ -395,10 +505,23 @@ def run_scenario(scenario: Scenario, fast_path: bool = True,
         plane.finish()
 
     final = checker.check(net)
+    ok = final.ok
+    verdicts = final.to_dict()
+    if scenario.controllers > 1:
+        # Cluster invariants join the pass criterion; the key is only
+        # present for cluster scenarios, so committed single-controller
+        # digests are untouched.
+        from repro.check.cluster import check_cluster
+
+        cluster_violations = check_cluster(platform.cluster, net)
+        ok = ok and not cluster_violations
+        verdicts["cluster_violations"] = [
+            v.to_dict() for v in cluster_violations
+        ]
     return ScenarioResult(
         scenario,
-        ok=final.ok,
-        verdicts=final.to_dict(),
+        ok=ok,
+        verdicts=verdicts,
         observables=platform_observables(platform),
         monitor_failures=[r.trigger for r in mon.failing_records()]
         if mon is not None else [],
@@ -490,13 +613,17 @@ def minimize(scenario: Scenario,
 
 
 def run_corpus(path: str) -> List[ScenarioResult]:
-    """Replay a committed corpus file ({"seeds": [...]}) and return the
-    per-seed results (all expected clean in CI)."""
+    """Replay a committed corpus file and return the per-seed results
+    (all expected clean in CI).  ``"seeds"`` replay through
+    :func:`generate_scenario`; the additive ``"cluster_seeds"`` key
+    replays through :func:`generate_cluster_scenario`."""
     with open(path) as fh:
         corpus = json.load(fh)
     results = []
     for seed in corpus["seeds"]:
         results.append(run_scenario(generate_scenario(seed)))
+    for seed in corpus.get("cluster_seeds", []):
+        results.append(run_scenario(generate_cluster_scenario(seed)))
     return results
 
 

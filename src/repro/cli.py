@@ -163,9 +163,21 @@ def _cmd_telemetry(args) -> int:
 def _cmd_faults(args) -> int:
     from repro.faults import FaultSchedule
 
+    controllers = getattr(args, "controllers", 1)
+    if args.kind in ("controller", "partition") and controllers < 2:
+        raise SystemExit(
+            f"--kind {args.kind} needs a cluster; pass --controllers >= 2"
+        )
     topo = build_topology(args.topology, args.size, args.bandwidth)
-    platform = ZenPlatform(topo, profile=args.profile, seed=args.seed,
-                           control_latency=args.control_latency)
+    if controllers > 1:
+        from repro.cluster import ZenCluster
+
+        platform = ZenCluster(topo, controllers=controllers,
+                              profile=args.profile, seed=args.seed,
+                              control_latency=args.control_latency)
+    else:
+        platform = ZenPlatform(topo, profile=args.profile, seed=args.seed,
+                               control_latency=args.control_latency)
     platform.start()
     # Warm traffic so the proactive profile has routes to break.
     hosts = list(platform.net.hosts.values())
@@ -186,7 +198,28 @@ def _cmd_faults(args) -> int:
         raise SystemExit(f"unknown switch {target!r}; pick from {switches}")
     start = net.sim.now + 0.5
     sched = FaultSchedule(net)
-    if args.kind == "channel":
+    if controllers > 1:
+        sched.attach_cluster(platform.cluster)
+    if args.kind == "controller":
+        cluster = platform.cluster
+        victim = cluster.master_of(net.switches[target].dpid)
+        for k in range(args.cycles):
+            sched.controller_crash(start + k * args.period, victim,
+                                   restart_after=args.down_for)
+        what = (f"controller-{victim} (master of {target}), "
+                f"state wiped on crash")
+    elif args.kind == "partition":
+        cluster = platform.cluster
+        minority = [cluster.leader]
+        majority = [n for n in sorted(cluster.bus.alive)
+                    if n not in minority]
+        for k in range(args.cycles):
+            sched.controller_partition(
+                start + k * args.period, [minority, majority],
+                heal_after=args.down_for,
+            )
+        what = f"east-west bus into {minority} | {majority}"
+    elif args.kind == "channel":
         sched.channel_flap(start, target, down_for=args.down_for,
                            period=args.period, count=args.cycles)
         what = f"control channel of {target}"
@@ -222,10 +255,36 @@ def _cmd_faults(args) -> int:
           f"{controller.resync_deleted} deleted, "
           f"{controller.resync_pruned} pruned), "
           f"{controller.resync_failures} resync failures")
+    clean = True
+    if controllers > 1:
+        from repro.check import check_cluster
+
+        cluster = platform.cluster
+        if cluster.handover_log:
+            hand = Table("Mastership handovers",
+                         ["t", "dpid", "from", "to", "term"])
+            for rec in cluster.handover_log:
+                hand.add_row(f"{rec.time:.3f}", str(rec.dpid),
+                             str(rec.old_node), str(rec.new_node),
+                             str(rec.term))
+            print()
+            print(hand.render())
+        masters = {d: m[0] for d, m in sorted(cluster.masters().items())
+                   if m}
+        print(f"\nCluster: {cluster.size} instance(s), "
+              f"leader controller-{cluster.leader}, masters {masters}")
+        violations = check_cluster(cluster, net)
+        clean = not violations
+        if violations:
+            for v in violations:
+                print(f"  VIOLATION {v.invariant}/{v.kind}: {v.message}")
+        else:
+            print("Cluster invariants: clean "
+                  "(single-master, no orphans, ledgers converged)")
     after = platform.ping_all(count=1, settle=8.0)
     print(f"Post-recovery all-pairs delivery: {after:.0%} "
           f"(switches managed: {controller.switch_count})")
-    return 0 if after == 1.0 and before == 1.0 else 1
+    return 0 if after == 1.0 and before == 1.0 and clean else 1
 
 
 def _cmd_check(args) -> int:
@@ -262,12 +321,21 @@ def _cmd_check(args) -> int:
         with open(args.path) as fh:
             payload = _json.load(fh)
         if "seeds" in payload:  # a corpus file
+            from repro.check import generate_cluster_scenario
+
             failures = 0
             for seed in payload["seeds"]:
                 result = run_scenario(generate_scenario(seed),
                                       monitor=args.monitor)
                 verdict = "clean" if result.ok else "VIOLATIONS"
                 print(f"seed {seed:6d} {verdict}")
+                failures += 0 if result.ok else 1
+            for seed in payload.get("cluster_seeds", []):
+                result = run_scenario(generate_cluster_scenario(seed),
+                                      monitor=args.monitor)
+                verdict = "clean" if result.ok else "VIOLATIONS"
+                print(f"cluster seed {seed:6d} {verdict} "
+                      f"({result.scenario.controllers} instances)")
                 failures += 0 if result.ok else 1
             return 1 if failures else 0
         result = replay(args.path, monitor=args.monitor)
@@ -637,12 +705,18 @@ def _parser() -> argparse.ArgumentParser:
     faults.add_argument("--profile", default="proactive",
                         choices=("reactive", "proactive"))
     faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument("--controllers", type=int, default=1,
+                        help="controller instances (cluster mode when "
+                             ">1; enables controller/partition kinds)")
     faults.add_argument("--bandwidth", type=float, default=1e9)
     faults.add_argument("--control-latency", type=float, default=0.001)
     faults.add_argument("--kind", default="channel",
-                        choices=("channel", "link", "crash"),
+                        choices=("channel", "link", "crash",
+                                 "controller", "partition"),
                         help="what to flap: the control channel, a "
-                             "dataplane link, or the whole agent")
+                             "dataplane link, the whole agent, a "
+                             "controller instance, or the east-west "
+                             "bus (last two need --controllers >= 2)")
     faults.add_argument("--target", default="",
                         help="switch to torment (default: first switch)")
     faults.add_argument("--cycles", type=int, default=2,

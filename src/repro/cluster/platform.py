@@ -1,0 +1,253 @@
+"""ZenCluster: the whole stack with N controller instances.
+
+Mirrors :class:`~repro.core.platform.ZenPlatform` — one emulated
+network, the standard service apps, a forwarding profile — but builds
+``controllers`` instances of :class:`ClusterController` sharing the
+fabric.  Every switch gets one control channel *per instance*
+(``make_channel(..., instance=node_id)``), the initial mastership is
+pre-agreed at build time by the rendezvous election, and the east-west
+bus replicates state from the first installed flow.
+
+Determinism contract: with zero faults, a ZenCluster run is
+bit-identical on the dataplane for any cluster size — per-node
+discovery probes run with ``jitter=0.0`` (no main-RNG draws), each
+switch's programming flows through exactly one master, and the bus
+delivers synchronously.  The differential test plane pins this down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional
+
+from repro.apps.arp_proxy import ArpProxy
+from repro.apps.learning_switch import LearningSwitch
+from repro.apps.proactive_router import ProactiveRouter
+from repro.cluster.node import ClusterController, ControllerCluster
+from repro.controller.discovery import TopologyDiscovery
+from repro.controller.hosttracker import HostTracker
+from repro.errors import ControllerError
+from repro.netem.network import Network
+from repro.netem.topology import Topology
+from repro.sim import Simulator
+
+__all__ = ["ZenCluster", "dataplane_digest"]
+
+_PROFILES = ("reactive", "proactive", "bare")
+
+
+def dataplane_digest(net: Network) -> str:
+    """A canonical hash of everything the *dataplane* shows.
+
+    Flow tables, datapath counters, and host tx/rx — deliberately
+    excluding control-channel and controller-side counters, which
+    legitimately differ with cluster size (N instances exchange more
+    control messages while programming the very same dataplane).
+    """
+    state = {
+        "switches": {
+            name: {
+                "stats": dp.stats(),
+                "flows": sorted(
+                    (table.table_id, entry.priority, repr(entry.match),
+                     repr(sorted(map(repr, entry.actions))))
+                    for table in dp.tables
+                    for entry in table
+                ),
+            }
+            for name, dp in sorted(net.switches.items())
+        },
+        "hosts": {
+            name: {"tx": host.tx_packets, "rx": host.rx_packets,
+                   "tx_bytes": host.tx_bytes, "rx_bytes": host.rx_bytes}
+            for name, host in sorted(net.hosts.items())
+        },
+    }
+    blob = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ZenCluster:
+    """One-call assembly of network + N-instance controller cluster.
+
+    The surface mirrors :class:`ZenPlatform` (``start``, ``run``,
+    ``ping_all``, ``controller`` …) so benchmarks, obs, and the fuzzer
+    drive either interchangeably; ``controllers=1`` is the oracle the
+    differential tests compare larger clusters against.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        controllers: int = 3,
+        profile: str = "proactive",
+        seed: int = 0,
+        control_latency: float = 0.001,
+        control_bandwidth_bps: float = 0.0,
+        flowmod_delay: float = 0.0,
+        packet_in_service_time: float = 0.0,
+        num_tables: int = 4,
+        table_capacity: int = 0,
+        eviction_policy: Optional[str] = None,
+        probe_interval: float = 1.0,
+        exact_match: bool = False,
+        telemetry=None,
+        fast_path: bool = True,
+        detect_delay: float = 0.05,
+        election_seed: Optional[int] = None,
+    ) -> None:
+        if profile not in _PROFILES:
+            raise ControllerError(
+                f"unknown profile {profile!r}; pick one of {_PROFILES}"
+            )
+        self.profile = profile
+        self.net = Network(
+            topology,
+            seed=seed,
+            num_tables=num_tables,
+            table_capacity=table_capacity,
+            eviction_policy=eviction_policy,
+            telemetry=telemetry,
+            fast_path=fast_path,
+        )
+        self.telemetry = self.net.telemetry
+        self.cluster = ControllerCluster(
+            self.net.sim, controllers,
+            seed=election_seed if election_seed is not None else seed,
+            detect_delay=detect_delay,
+            packet_in_service_time=packet_in_service_time,
+            telemetry=self.telemetry,
+        )
+        self.discoveries: List[TopologyDiscovery] = []
+        self.trackers: List[HostTracker] = []
+        self.routers: List[Optional[ProactiveRouter]] = []
+        self.learnings: List[Optional[LearningSwitch]] = []
+        for node in self.cluster.controllers:
+            # jitter=0.0: probe timing must not consume main-RNG draws,
+            # or the draw count (and every downstream stream) would
+            # depend on the cluster size.
+            discovery = node.add_app(TopologyDiscovery(
+                probe_interval=probe_interval, jitter=0.0,
+            ))
+            tracker = node.add_app(HostTracker())
+            node.add_app(ArpProxy())
+            router = learning = None
+            if profile == "reactive":
+                learning = node.add_app(
+                    LearningSwitch(exact_match=exact_match)
+                )
+            elif profile == "proactive":
+                router = node.add_app(ProactiveRouter())
+            self.discoveries.append(discovery)
+            self.trackers.append(tracker)
+            self.routers.append(router)
+            self.learnings.append(learning)
+            node.attach_discovery(discovery)
+            node.start_replication()
+            node.wipe_hooks.append(
+                self._make_wipe_hook(discovery, tracker, router, learning)
+            )
+        self.cluster.seed_assignment(
+            dp.dpid for dp in self.net.switches.values()
+        )
+        # One channel per (switch, instance), switch-major so per-switch
+        # handshakes complete in node order deterministically.
+        for name in self.net.switches:
+            for node in self.cluster.controllers:
+                channel = self.net.make_channel(
+                    name,
+                    latency=control_latency,
+                    bandwidth_bps=control_bandwidth_bps,
+                    flowmod_delay=flowmod_delay,
+                    instance=node.node_id,
+                )
+                node.accept_channel(channel)
+                channel.connect()
+
+    @staticmethod
+    def _make_wipe_hook(discovery, tracker, router, learning):
+        def wipe() -> None:
+            discovery.links.clear()
+            tracker.hosts_by_mac.clear()
+            tracker.hosts_by_ip.clear()
+            if router is not None:
+                router._installed.clear()
+            if learning is not None:
+                learning.mac_tables.clear()
+        return wipe
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def sim(self) -> Simulator:
+        return self.net.sim
+
+    @property
+    def controller(self) -> ClusterController:
+        """Node 0, for surfaces that expect a single controller."""
+        return self.cluster.controllers[0]
+
+    @property
+    def discovery(self) -> TopologyDiscovery:
+        return self.discoveries[0]
+
+    def node(self, node_id: int) -> ClusterController:
+        return self.cluster.node(node_id)
+
+    def start(self, warmup: Optional[float] = None) -> "ZenCluster":
+        """Run long enough for handshakes and discovery to settle."""
+        if warmup is None:
+            warmup = 2 * self.discoveries[0].probe_interval + 0.5
+        self.net.run(warmup)
+        return self
+
+    def run(self, duration: float) -> None:
+        self.net.run(duration)
+
+    # ------------------------------------------------------------------
+    # Convenience passthroughs (ZenPlatform parity)
+    # ------------------------------------------------------------------
+    def host(self, name: str):
+        return self.net.host(name)
+
+    def switch(self, name: str):
+        return self.net.switch(name)
+
+    def ping_all(self, count: int = 1, settle: float = 10.0) -> float:
+        return self.net.ping_all(count=count, settle=settle)
+
+    def fail_link(self, a: str, b: str) -> None:
+        self.net.fail_link(a, b)
+
+    def recover_link(self, a: str, b: str) -> None:
+        self.net.recover_link(a, b)
+
+    def dataplane_digest(self) -> str:
+        return dataplane_digest(self.net)
+
+    def control_overhead(self) -> Dict[str, dict]:
+        return {
+            name: channel.total_stats()
+            for name, channel in self.net.channels.items()
+        }
+
+    def total_control_messages(self) -> int:
+        total = 0
+        for stats in self.control_overhead().values():
+            total += stats["to_controller"]["messages"]
+            total += stats["to_switch"]["messages"]
+        return total
+
+    def total_events_published(self) -> int:
+        return sum(n.events_published for n in self.cluster.controllers)
+
+    def total_resyncs(self) -> int:
+        return sum(n.resyncs for n in self.cluster.controllers)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ZenCluster {self.cluster.size}x {self.profile!r} on "
+            f"{self.net.topology.name!r}>"
+        )

@@ -453,15 +453,7 @@ class Controller:
         if isinstance(msg, PacketIn):
             self._enqueue_packet_in(handle, msg)
         elif isinstance(msg, FlowRemoved):
-            # The switch no longer holds this entry: drop the intent too,
-            # or the next resync would resurrect an expired flow.
-            flows = self._ledger.get(handle.dpid)
-            if flows is not None:
-                flows.pop((msg.table_id, msg.priority, msg.match), None)
-            self.publish(FlowRemovedEvent(
-                handle, msg.table_id, msg.match, msg.priority, msg.cookie,
-                msg.reason, msg.duration, msg.packet_count, msg.byte_count,
-            ))
+            self._on_flow_removed_msg(handle, msg)
         elif isinstance(msg, PortStatus):
             port = msg.port
             handle.ports[port.number] = port
@@ -469,6 +461,18 @@ class Controller:
         elif isinstance(msg, Error):
             self.publish(ErrorEvent(handle, msg.code, msg.detail))
         # Stats and barrier replies ride the xid request path.
+
+    def _on_flow_removed_msg(self, handle: SwitchHandle,
+                             msg: FlowRemoved) -> None:
+        # The switch no longer holds this entry: drop the intent too,
+        # or the next resync would resurrect an expired flow.
+        flows = self._ledger.get(handle.dpid)
+        if flows is not None:
+            flows.pop((msg.table_id, msg.priority, msg.match), None)
+        self.publish(FlowRemovedEvent(
+            handle, msg.table_id, msg.match, msg.priority, msg.cookie,
+            msg.reason, msg.duration, msg.packet_count, msg.byte_count,
+        ))
 
     def _on_features(self, endpoint: ChannelEndpoint,
                      reply: Message) -> None:

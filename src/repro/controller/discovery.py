@@ -63,12 +63,20 @@ class TopologyDiscovery(App):
     name = "discovery"
 
     def __init__(self, probe_interval: float = 1.0,
-                 link_timeout: float = 3.5) -> None:
+                 link_timeout: float = 3.5,
+                 jitter: float = 0.01) -> None:
         super().__init__()
         self.probe_interval = probe_interval
         self.link_timeout = link_timeout
+        # Cluster nodes pass jitter=0.0: jittered timers draw the main
+        # RNG per re-arm, which would make the draw count depend on the
+        # number of controller instances.
+        self.jitter = jitter
         #: (src_dpid, src_port) -> DiscoveredLink
         self.links: Dict[Tuple[int, int], DiscoveredLink] = {}
+        #: Hook fired on every *locally observed* probe (new or refresh);
+        #: the cluster layer uses it to replicate liveness east-west.
+        self.on_link_seen: Optional[Callable[[DiscoveredLink], None]] = None
         self._stop_probe: Optional[Callable[[], None]] = None
         # Probe frames are a pure function of (dpid, port, mac, ttl), so
         # build and encode each one exactly once across all intervals.
@@ -77,7 +85,7 @@ class TopologyDiscovery(App):
     def start(self, controller) -> None:
         super().start(controller)
         self._stop_probe = controller.sim.call_every(
-            self.probe_interval, self._probe_all, jitter=0.01
+            self.probe_interval, self._probe_all, jitter=self.jitter
         )
 
     def stop(self) -> None:
@@ -136,22 +144,36 @@ class TopologyDiscovery(App):
         lldp = event.packet.get(LLDP)
         if lldp is None:
             return
-        key = (lldp.chassis_id, lldp.port_id)
+        self.observe_link(lldp.chassis_id, lldp.port_id,
+                          event.switch.dpid, event.in_port)
+
+    def observe_link(self, src_dpid: int, src_port: int, dst_dpid: int,
+                     dst_port: int, local: bool = True) -> None:
+        """Record an adjacency observation (probe or replicated).
+
+        ``local=False`` marks a sighting replicated from a cluster peer:
+        it is applied identically but not re-announced via
+        :attr:`on_link_seen`, which would echo it around the bus.
+        """
+        key = (src_dpid, src_port)
         now = self.sim.now
         existing = self.links.get(key)
         if existing is not None:
             existing.last_seen = now
-            if (existing.dst_dpid == event.switch.dpid
-                    and existing.dst_port == event.in_port):
+            if (existing.dst_dpid == dst_dpid
+                    and existing.dst_port == dst_port):
+                if local and self.on_link_seen is not None:
+                    self.on_link_seen(existing)
                 return
             # The far end changed (rewiring): replace the link.
             self._remove_links([key])
-        link = DiscoveredLink(lldp.chassis_id, lldp.port_id,
-                              event.switch.dpid, event.in_port, now)
+        link = DiscoveredLink(src_dpid, src_port, dst_dpid, dst_port, now)
         self.links[key] = link
         self.controller.publish(LinkDiscovered(
             link.src_dpid, link.src_port, link.dst_dpid, link.dst_port
         ))
+        if local and self.on_link_seen is not None:
+            self.on_link_seen(link)
 
     def _age_links(self) -> None:
         now = self.sim.now

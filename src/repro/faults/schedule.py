@@ -58,6 +58,9 @@ class FaultSchedule:
         self.sim = net.sim
         self.log: List[FaultEvent] = []
         self.injected = 0
+        #: Controller cluster targeted by controller_* faults; set via
+        #: :meth:`attach_cluster`.
+        self.cluster = None
         #: Post-fire hook: called with the :class:`FaultEvent` after the
         #: injection's action ran.  The invariant monitor uses this to
         #: audit the dataplane at the exact injection instant — before
@@ -133,20 +136,96 @@ class FaultSchedule:
     def switch_crash(self, at: float, switch: str,
                      restart_after: Optional[float] = None,
                      wipe_state: bool = True) -> "FaultSchedule":
-        """Crash the ZOF agent of ``switch`` (reboot semantics by
-        default); optionally restart it ``restart_after`` seconds later.
+        """Crash the ZOF agent(s) of ``switch`` (reboot semantics by
+        default); optionally restart ``restart_after`` seconds later.
+
+        In cluster mode a switch carries one agent per controller
+        instance; a physical crash takes down every one of them.
         """
-        agent = self.net.agent(switch)
-        self._arm(at, "switch_crash", switch,
-                  lambda: agent.crash(wipe_state=wipe_state))
+        agents = self.net.agents_of(switch)
+
+        def crash_all() -> None:
+            for i, agent in enumerate(agents):
+                # State is shared per datapath: wipe it once.
+                agent.crash(wipe_state=wipe_state and i == 0)
+
+        self._arm(at, "switch_crash", switch, crash_all)
         if restart_after is not None:
             self.switch_restart(at + restart_after, switch)
         return self
 
     def switch_restart(self, at: float, switch: str) -> "FaultSchedule":
         """Bring a crashed agent back: reconnect and re-handshake."""
-        agent = self.net.agent(switch)
-        self._arm(at, "switch_restart", switch, agent.restart)
+        agents = self.net.agents_of(switch)
+
+        def restart_all() -> None:
+            for agent in agents:
+                agent.restart()
+
+        self._arm(at, "switch_restart", switch, restart_all)
+        return self
+
+    # ------------------------------------------------------------------
+    # Controller-cluster faults
+    # ------------------------------------------------------------------
+    def attach_cluster(self, cluster) -> "FaultSchedule":
+        """Bind a :class:`~repro.cluster.node.ControllerCluster` so the
+        ``controller_*`` fault kinds can target its nodes."""
+        self.cluster = cluster
+        return self
+
+    def _require_cluster(self):
+        if self.cluster is None:
+            raise TopologyError(
+                "no cluster attached; call attach_cluster() first"
+            )
+        return self.cluster
+
+    def controller_crash(self, at: float, node: int,
+                         restart_after: Optional[float] = None,
+                         ) -> "FaultSchedule":
+        """Fail-stop controller instance ``node``: its channels drop,
+        its in-memory state is lost, and the survivors take over its
+        switches after the detection delay.  Optionally restart it
+        ``restart_after`` seconds later (it rejoins empty and resyncs
+        from its peers before reclaiming any mastership).
+        """
+        cluster = self._require_cluster()
+        cluster.node(node)  # validate now, not at fire time
+        self._arm(at, "controller_crash", f"controller-{node}",
+                  lambda: cluster.crash_node(node))
+        if restart_after is not None:
+            self.controller_restart(at + restart_after, node)
+        return self
+
+    def controller_restart(self, at: float, node: int) -> "FaultSchedule":
+        """Restart a crashed controller instance at time ``at``."""
+        cluster = self._require_cluster()
+        self._arm(at, "controller_restart", f"controller-{node}",
+                  lambda: cluster.restart_node(node))
+        return self
+
+    def controller_partition(self, at: float, groups,
+                             heal_after: Optional[float] = None,
+                             ) -> "FaultSchedule":
+        """Split the east-west bus into ``groups`` (lists of node ids)
+        at time ``at``; optionally heal ``heal_after`` seconds later.
+        Minority-side nodes self-demote their masterships; the majority
+        side adopts them, fenced by bumped terms.
+        """
+        cluster = self._require_cluster()
+        frozen = [list(g) for g in groups]
+        label = "|".join(",".join(str(n) for n in g) for g in frozen)
+        self._arm(at, "controller_partition", label,
+                  lambda: cluster.partition(frozen))
+        if heal_after is not None:
+            self.controller_heal(at + heal_after)
+        return self
+
+    def controller_heal(self, at: float) -> "FaultSchedule":
+        """Reconnect all east-west partitions at time ``at``."""
+        cluster = self._require_cluster()
+        self._arm(at, "controller_heal", "cluster", cluster.heal)
         return self
 
     # ------------------------------------------------------------------

@@ -89,6 +89,9 @@ class Network:
         self._next_port: Dict[str, int] = {}
         self._agents: Dict[str, SwitchAgent] = {}
         self._channels: Dict[str, ControlChannel] = {}
+        #: switch name -> every agent bound to it (one per controller
+        #: instance in cluster mode; a singleton list otherwise).
+        self._agents_by_switch: Dict[str, List[SwitchAgent]] = {}
         self._local = set(local_nodes) if local_nodes is not None else None
         self._link_keys = link_keys
         self._boundary_factory = boundary_factory
@@ -253,36 +256,57 @@ class Network:
         latency: float = 0.001,
         bandwidth_bps: float = 0.0,
         flowmod_delay: float = 0.0,
+        instance: Optional[int] = None,
     ) -> ControlChannel:
-        """Create the control channel + agent for one switch.
+        """Create a control channel + agent for one switch.
 
         The controller side of the returned channel is unclaimed; the
-        platform (or a test) hooks its ``controller_end``.
+        platform (or a test) hooks its ``controller_end``.  With
+        ``instance`` (cluster mode) a switch carries one channel per
+        controller instance, registered as ``"<switch>#<instance>"``.
         """
-        if switch_name in self._channels:
+        key = (switch_name if instance is None
+               else f"{switch_name}#{instance}")
+        if key in self._channels:
             raise TopologyError(
-                f"switch {switch_name} already has a control channel"
+                f"switch {key} already has a control channel"
             )
         channel = ControlChannel(self.sim, latency=latency,
                                  bandwidth_bps=bandwidth_bps,
                                  telemetry=self.telemetry,
-                                 name=switch_name)
+                                 name=key)
         agent = SwitchAgent(self.switches[switch_name], channel,
                             flowmod_delay=flowmod_delay)
-        self._channels[switch_name] = channel
-        self._agents[switch_name] = agent
+        self._channels[key] = channel
+        self._agents[key] = agent
+        self._agents_by_switch.setdefault(switch_name, []).append(agent)
         return channel
 
     def channel(self, switch_name: str) -> ControlChannel:
-        if switch_name not in self._channels:
+        """A switch's channel; in cluster mode, instance 0's unless the
+        ``"<switch>#<instance>"`` form names another."""
+        found = self._channels.get(switch_name)
+        if found is None:
+            found = self._channels.get(f"{switch_name}#0")
+        if found is None:
             raise TopologyError(f"switch {switch_name} has no channel")
-        return self._channels[switch_name]
+        return found
 
     def agent(self, switch_name: str) -> SwitchAgent:
         """The ZOF agent created by :meth:`make_channel` for a switch."""
-        if switch_name not in self._agents:
+        found = self._agents.get(switch_name)
+        if found is None:
+            found = self._agents.get(f"{switch_name}#0")
+        if found is None:
             raise TopologyError(f"switch {switch_name} has no agent")
-        return self._agents[switch_name]
+        return found
+
+    def agents_of(self, switch_name: str) -> List[SwitchAgent]:
+        """Every agent bound to ``switch_name`` (all instances)."""
+        agents = self._agents_by_switch.get(switch_name)
+        if not agents:
+            raise TopologyError(f"switch {switch_name} has no agent")
+        return list(agents)
 
     @property
     def channels(self) -> Dict[str, ControlChannel]:

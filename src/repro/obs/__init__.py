@@ -59,6 +59,7 @@ from repro.obs.slo import (
     SLOEvaluator,
     SeriesSLO,
     default_slos,
+    handover_slo,
     slo_from_spec,
 )
 
@@ -82,6 +83,7 @@ __all__ = [
     "default_slos",
     "diff_runs",
     "fault_windows",
+    "handover_slo",
     "load_artifact",
     "render_dashboard",
     "render_diff",
@@ -188,6 +190,27 @@ class ObsPlane:
                 f'obs_channel_backlog_seconds{{channel="{name}"}}',
                 backlog,
             )
+        return self
+
+    def watch_cluster(self, cluster) -> "ObsPlane":
+        """Annotate mastership handovers of a
+        :class:`~repro.cluster.node.ControllerCluster`.
+
+        Every :class:`~repro.cluster.node.HandoverRecord` lands as a
+        ``handover`` annotation labelled by switch dpid, and each
+        completed failover emits ``handover_done`` labelled
+        ``controller-<node>`` — the label a ``controller_crash`` fault
+        annotation carries, so :func:`~repro.obs.slo.handover_slo`
+        measures crash-to-full-ownership latency out of the box.
+        """
+        cluster.on_handover.append(
+            lambda rec: self.scraper.annotate(
+                "handover", f"dpid-{rec.dpid}", time=rec.time)
+        )
+        cluster.on_failover_complete.append(
+            lambda node_id, elapsed: self.scraper.annotate(
+                "handover_done", f"controller-{node_id}")
+        )
         return self
 
     def watch_faults(self, schedule) -> "ObsPlane":

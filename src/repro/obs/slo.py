@@ -35,6 +35,7 @@ __all__ = [
     "SLOEvaluator",
     "SeriesSLO",
     "default_slos",
+    "handover_slo",
     "slo_from_spec",
 ]
 
@@ -512,3 +513,24 @@ def default_slos(interval: float = 0.1) -> List[SLO]:
             description="switches awaiting reconnect",
         ),
     ]
+
+
+def handover_slo(threshold: float = 0.5) -> ConvergenceSLO:
+    """Mastership handover latency objective for controller clusters.
+
+    Opens on every ``controller_crash`` fault annotation and closes on
+    the matching ``handover_done`` annotation (same
+    ``controller-<node>`` label, emitted by
+    :meth:`~repro.obs.ObsPlane.watch_cluster` when the survivors have
+    adopted every switch the crashed node mastered).  The measured
+    elapsed time is the fault-to-full-ownership recovery window that
+    experiment E15 sweeps against cluster size.
+    """
+    return ConvergenceSLO(
+        "cluster-handover", threshold,
+        open_kinds=("controller_crash",),
+        close_kinds=("handover_done",),
+        for_s=0.0, severity="page",
+        description="mastership handover completes after a "
+                    "controller crash",
+    )

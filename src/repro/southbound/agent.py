@@ -54,6 +54,41 @@ from repro.southbound.messages import (
 __all__ = ["SwitchAgent"]
 
 
+class _AgentGroup:
+    """Every ZOF agent bound to one datapath, plus shared role state.
+
+    A datapath accepts one control channel per controller instance; the
+    group owns what OF 1.3 scopes to the *switch* rather than the
+    connection: the ``generation_id`` fence (monotonic across all
+    connections, so a stale master cannot out-claim a newer one) and
+    the at-most-one-PRIMARY arbitration (granting PRIMARY silently
+    demotes the previous PRIMARY connection to SECONDARY).  Datapath
+    callbacks fan out to every agent; per-agent role filters decide
+    who actually forwards them.
+    """
+
+    __slots__ = ("agents", "generation_id")
+
+    def __init__(self, datapath: Datapath) -> None:
+        self.agents: list = []
+        self.generation_id = 0
+        datapath.on_packet_in = self._fan_packet_in
+        datapath.on_flow_removed = self._fan_flow_removed
+        datapath.on_port_status = self._fan_port_status
+
+    def _fan_packet_in(self, packet, in_port, reason) -> None:
+        for agent in self.agents:
+            agent._on_packet_in(packet, in_port, reason)
+
+    def _fan_flow_removed(self, table_id, entry, reason) -> None:
+        for agent in self.agents:
+            agent._on_flow_removed(table_id, entry, reason)
+
+    def _fan_port_status(self, port, reason) -> None:
+        for agent in self.agents:
+            agent._on_port_status(port, reason)
+
+
 class SwitchAgent:
     """Binds one datapath to one control channel (switch side)."""
 
@@ -70,22 +105,37 @@ class SwitchAgent:
         self._tel = datapath.telemetry
         self.peer_version: Optional[int] = None
         self.controller_role = ControllerRole.EQUAL
-        self.generation_id = 0
         #: Simulated time at which the last queued flow-mod completes;
         #: barriers reply no earlier than this.
         self._apply_cursor = 0.0
 
+        group = getattr(datapath, "_agent_group", None)
+        if group is None:
+            group = _AgentGroup(datapath)
+            datapath._agent_group = group
+        group.agents.append(self)
+        self._group = group
+
         self.endpoint.handler = self._handle
         self.endpoint.on_connect = self._on_connect
-        datapath.on_packet_in = self._on_packet_in
-        datapath.on_flow_removed = self._on_flow_removed
-        datapath.on_port_status = self._on_port_status
+        self.endpoint.on_disconnect = self._on_disconnect
+
+    @property
+    def generation_id(self) -> int:
+        """The datapath-wide role-generation fence (shared, monotonic)."""
+        return self._group.generation_id
 
     # ------------------------------------------------------------------
     # Connection lifecycle
     # ------------------------------------------------------------------
     def _on_connect(self) -> None:
         self.endpoint.send(Hello())
+
+    def _on_disconnect(self) -> None:
+        # Role state is per-connection and dies with it; the generation
+        # fence belongs to the datapath and survives, so a reconnecting
+        # controller must re-declare its role under the current fence.
+        self.controller_role = ControllerRole.EQUAL
 
     def crash(self, wipe_state: bool = True) -> None:
         """Simulate the agent process dying (switch reboot).
@@ -117,6 +167,8 @@ class SwitchAgent:
                       reason: str) -> None:
         if not self.channel.connected:
             return
+        if self.controller_role == ControllerRole.SECONDARY:
+            return  # SLAVE connections get no asynchronous packet-ins
         data = packet.encode()
         if packet.trace_id is not None and self._tel.tracing:
             # The trace id cannot ride the wire; stash it keyed by the
@@ -130,6 +182,8 @@ class SwitchAgent:
                          reason: str) -> None:
         if not self.channel.connected:
             return
+        if self.controller_role == ControllerRole.SECONDARY:
+            return  # the master narrates expiries, slaves stay quiet
         if not entry.flags & FlowMod.SEND_FLOW_REM:
             return
         now = self.datapath.sim.now
@@ -168,6 +222,11 @@ class SwitchAgent:
                 ports=[self._port_desc(p)
                        for p in self.datapath.ports.values()],
             ))
+        elif (isinstance(msg, (FlowMod, GroupMod, MeterMod, PacketOut))
+                and self.controller_role == ControllerRole.SECONDARY):
+            # OF 1.3 §6.3.1: SLAVE controllers are read-only.
+            self._send_error(msg, Error.BAD_ROLE,
+                             "connection is SLAVE; mutation refused")
         elif isinstance(msg, FlowMod):
             self._queue_apply(self._apply_flow_mod, msg)
         elif isinstance(msg, GroupMod):
@@ -302,15 +361,24 @@ class SwitchAgent:
             self._send_error(msg, Error.BAD_ACTION, str(exc))
 
     def _apply_role(self, msg: RoleRequest) -> None:
+        group = self._group
         if (msg.role != ControllerRole.EQUAL
-                and msg.generation_id < self.generation_id):
+                and msg.generation_id < group.generation_id):
             self._send_error(msg, Error.BAD_ROLE,
                              f"stale generation {msg.generation_id}")
             return
+        if msg.role == ControllerRole.PRIMARY:
+            # At most one PRIMARY per datapath: the previous master is
+            # silently demoted (it learns via its own cluster view).
+            for peer in group.agents:
+                if (peer is not self
+                        and peer.controller_role == ControllerRole.PRIMARY):
+                    peer.controller_role = ControllerRole.SECONDARY
         self.controller_role = msg.role
         if msg.role != ControllerRole.EQUAL:
-            self.generation_id = msg.generation_id
-        self._reply(msg, RoleReply(self.controller_role, self.generation_id))
+            group.generation_id = msg.generation_id
+        self._reply(msg, RoleReply(self.controller_role,
+                                   group.generation_id))
 
     def _send_error(self, request: Message, code: int, detail: str) -> None:
         err = Error(code, detail)

@@ -95,8 +95,13 @@ class WorkloadSpec:
                        + float(entry.get("duration", 10.0)))
         for fault in self.faults:
             if fault["kind"] in ("link_flap", "channel_flap"):
+                # The k-th cycle goes down at ``at + k*period`` and
+                # comes back ``down_for`` later, so the last recovery —
+                # not ``at + count*period``, which overshoots by
+                # ``period - down_for`` — bounds the schedule.
                 last = max(last, fault["at"]
-                           + fault["count"] * fault["period"])
+                           + (fault["count"] - 1) * fault["period"]
+                           + fault["down_for"])
             else:  # switch_crash
                 last = max(last, fault["at"] + fault["restart_after"])
         return last + self.settle

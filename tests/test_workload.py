@@ -259,8 +259,19 @@ class TestSpec:
             "kind": "channel_flap", "switch": "s1", "at": 2.0,
             "down_for": 0.3, "period": 1.0, "count": 3,
         }])
+        # Last cycle goes down at 2.0 + 2*1.0 and recovers 0.3s later.
         assert spec.horizon() == pytest.approx(
-            max(0.2 + 1.2, 2.0 + 3 * 1.0) + 1.0)
+            max(0.2 + 1.2, 2.0 + 2 * 1.0 + 0.3) + 1.0)
+
+    def test_horizon_single_cycle_covers_recovery(self):
+        # Regression: with one cycle the old ``at + count*period`` bound
+        # (3.0) undershot the actual recovery at ``at + down_for``
+        # (6.0), so the run could end with the fault still live.
+        spec = tiny_spec(faults=[{
+            "kind": "channel_flap", "switch": "s1", "at": 1.0,
+            "down_for": 5.0, "period": 2.0, "count": 1,
+        }])
+        assert spec.horizon() == pytest.approx(1.0 + 5.0 + 1.0)
 
 
 # ----------------------------------------------------------------------
