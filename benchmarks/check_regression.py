@@ -29,6 +29,14 @@ compares a machine-normalised quantity from one and the same run:
   ``E17_MIN_CPUS`` CPUs (starved CI runners cannot parallelise and
   would fail vacuously).  Gated only when ``BENCH_E17.json`` is
   present.
+* **E18 (trace plane)** — the tracing-overhead percentage at the
+  always-on sampling config (1-in-8, min of reps) and three
+  bit-identity verdicts: single-process observables, sharded merged
+  digest, and clustered dataplane digest, each with tracing on vs
+  off.  Also requires that the merged sharded artifact contained
+  boundary-crossing traces and the clustered fault run produced a
+  handover critical path.  Gated only when ``BENCH_E18.json`` is
+  present.
 
 Usage (after the benchmark smoke run has written the BENCH files)::
 
@@ -58,6 +66,9 @@ E16_CURRENT = os.path.join(os.path.dirname(HERE), "BENCH_E16.json")
 E17_CURRENT = os.path.join(os.path.dirname(HERE), "BENCH_E17.json")
 E17_BASELINE = os.path.join(HERE, "baseline_e17.json")
 E17_MIN_CPUS = 4
+
+E18_CURRENT = os.path.join(os.path.dirname(HERE), "BENCH_E18.json")
+E18_MAX_OVERHEAD_PCT = 5.0   # E18's contract: sampled tracing < 5% wall
 
 
 def check_e14() -> int:
@@ -186,6 +197,46 @@ def check_e17() -> int:
     return 0
 
 
+def check_e18() -> int:
+    """Gate the trace plane when its benchmark ran; 0 = pass."""
+    if not os.path.exists(E18_CURRENT):
+        print("trace gate: BENCH_E18.json absent, skipping")
+        return 0
+    with open(E18_CURRENT) as fh:
+        current = json.load(fh)
+    overhead = current["overhead_pct"]
+    identical = current["identical"]
+    sample = current.get("sample_every", 1)
+    print(f"trace plane: tracing overhead {overhead:.2f}% at 1-in-"
+          f"{sample} sampling (budget {E18_MAX_OVERHEAD_PCT:.1f}%), "
+          f"bit-identical={identical}, "
+          f"sharded={current['sharded_identical']}, "
+          f"cluster={current['cluster_identical']}, "
+          f"cross-shard traces={current['cross_shard_traces']}")
+    if not identical:
+        print("FAIL: trace plane perturbed the seeded run")
+        return 1
+    if not current["sharded_identical"]:
+        print("FAIL: tracing changed the sharded observables digest")
+        return 1
+    if not current["cluster_identical"]:
+        print("FAIL: tracing changed the clustered dataplane digest")
+        return 1
+    if overhead >= E18_MAX_OVERHEAD_PCT:
+        print(f"FAIL: tracing overhead {overhead:.2f}% at or above "
+              f"{E18_MAX_OVERHEAD_PCT:.1f}%")
+        return 1
+    if current["cross_shard_traces"] <= 0:
+        print("FAIL: no trace crossed a shard boundary")
+        return 1
+    if current["handover_critical_path_s"] <= 0:
+        print("FAIL: clustered fault run recorded no handover "
+              "critical path")
+        return 1
+    print("OK: trace plane within budget and invisible to the runs")
+    return 0
+
+
 def main(argv) -> int:
     current_path = argv[1] if len(argv) > 1 else DEFAULT_CURRENT
     try:
@@ -213,7 +264,7 @@ def main(argv) -> int:
               f"{TOLERANCE:.0%} from baseline {base_speedup:.2f}x")
         return 1
     print("OK: fast path within budget")
-    for gate in (check_e14, check_e15, check_e16, check_e17):
+    for gate in (check_e14, check_e15, check_e16, check_e17, check_e18):
         rc = gate()
         if rc:
             return rc

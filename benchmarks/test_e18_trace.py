@@ -1,0 +1,247 @@
+"""E18 — Causal trace plane: tracing overhead and bit-identity.
+
+Question: what does full causal tracing — per-packet span trees, the
+flight recorder's ring chaining, cross-shard context propagation —
+cost, and does switching it on change anything a seeded run computes?
+
+Workload: the E14 fat-tree (k=4, proactive profile) driving repeated
+UDP microflows.  The identical seeded run executes twice per rep —
+tracing off, then tracing on with a flight recorder chained onto the
+tracer — and the wall-clock delta is the trace plane's overhead.
+Reps are interleaved and each arm takes its minimum wall time.
+
+Contract (the telemetry doctrine, extended to traces): at the gated
+sampling config (1-in-8, the production default for always-on
+tracing) overhead stays below 5% of wall time, and every simulation
+observable is bit-identical between the arms.  Full per-packet
+sampling is measured too and reported ungated — it costs ~10-15%,
+which is why sampled tracing is the always-on config and per-packet
+tracing is reserved for targeted `repro trace` runs.  The identity
+contract must also hold across the other two execution planes — a
+sharded run's merged observables digest (shards=2, in process) and a
+clustered fault run's dataplane digest — because spans ride the
+observer side-channel and never touch the event heap.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.analysis import Table
+from repro.cluster import ZenCluster
+from repro.cluster.platform import dataplane_digest
+from repro.core import ZenPlatform
+from repro.faults import FaultSchedule
+from repro.netem import Topology
+from repro.sim.shard import run_sharded
+from repro.telemetry import Telemetry
+from repro.trace import FlightRecorder, TraceArtifact, critical_path
+from repro.workload import WorkloadSpec
+
+from harness import RESULTS_DIR, publish, publish_json, seed_arp
+
+PACKETS_PER_FLOW = 40
+MAX_OVERHEAD_PCT = 5.0
+SAMPLE_EVERY = 8           # the gated always-on sampling config
+REPS = 3
+
+
+def drive(trace: bool, sample_every: int = SAMPLE_EVERY):
+    """One seeded fat-tree run; returns (wall_s, observables, tracer)."""
+    telemetry = Telemetry(profile=False, trace=trace,
+                          trace_sample_every=sample_every)
+    platform = ZenPlatform(
+        Topology.fat_tree(4, bandwidth_bps=1e9, delay=0.00005),
+        profile="proactive",
+        seed=3,
+        telemetry=telemetry,
+    ).start()
+    recorder = FlightRecorder(telemetry) if trace else None
+    seed_arp(platform.net)
+    hosts = list(platform.net.hosts.values())
+    pairs = [(hosts[i], hosts[(i + 5) % len(hosts)])
+             for i in range(len(hosts))]
+    for a, b in pairs:
+        a.send_udp(b.ip, 5000, 5000, b"warm")
+        b.send_udp(a.ip, 5000, 5000, b"warm")
+    platform.run(2.0)
+    sim = platform.sim
+    rng = sim.fork_rng()
+    for idx, (a, b) in enumerate(pairs):
+        for _ in range(PACKETS_PER_FLOW):
+            sim.schedule(rng.uniform(0.0, 1.0), a.send_udp,
+                         b.ip, 6000 + idx, 7000, b"x" * 64)
+    start = time.perf_counter()
+    platform.run(2.0)
+    wall = time.perf_counter() - start
+    observables = {
+        name: (dp.stats(),
+               [(t.table_id, t.lookup_count, t.matched_count)
+                for t in dp.tables],
+               sorted((repr(e.match), e.priority, e.packet_count,
+                       e.byte_count)
+                      for t in dp.tables for e in t))
+        for name, dp in platform.net.switches.items()
+    }
+    return wall, observables, telemetry.tracer, recorder
+
+
+def _shard_spec():
+    return WorkloadSpec(
+        "e18-shard",
+        topology={"family": "fat_tree", "size": 4},
+        seed=18,
+        duration=1.0,
+        traffic=[
+            {"kind": "flows", "rate": 50.0,
+             "sizes": {"dist": "pareto", "mean": 6_000, "alpha": 1.5},
+             "start": 0.1, "duration": 0.8},
+        ],
+    )
+
+
+def sharded_identity():
+    """Sharded runs: digest with tracing on == off, and the merged
+    artifact actually carries boundary-crossing traces."""
+    spec = _shard_spec()
+    off = run_sharded(spec, shards=2, processes=False)
+    on = run_sharded(spec, shards=2, processes=False, trace=True)
+    art = on.trace_artifact
+    crossing = sum(1 for t in art.traces if len(art.shards_of(t)) > 1)
+    return off.digest == on.digest, art, crossing
+
+
+def cluster_identity():
+    """Clustered crash runs: dataplane digest with tracing on == off."""
+    def digest(tel):
+        platform = ZenCluster(
+            Topology.ring(4, hosts_per_switch=1, bandwidth_bps=1e9),
+            controllers=3, profile="reactive", seed=18,
+            telemetry=tel,
+        ).start()
+        net = platform.net
+        seed_arp(net)
+        hosts = list(net.hosts.values())
+        for i, host in enumerate(hosts):
+            host.send_udp(hosts[(i + 1) % len(hosts)].ip, 7, 7, b"e18")
+        platform.run(1.0)
+        sched = FaultSchedule(net)
+        sched.attach_cluster(platform.cluster)
+        victim = platform.cluster.master_of(net.switches["s1"].dpid)
+        sched.controller_crash(net.sim.now + 0.5, victim,
+                               restart_after=0.4)
+        platform.run(3.0)
+        return dataplane_digest(net), tel
+
+    off, _ = digest(Telemetry(profile=False, trace=False))
+    on, tel = digest(Telemetry(profile=False, trace=True))
+    return off == on, tel.tracer
+
+
+def run_experiment():
+    walls = {False: [], True: []}
+    observables = {}
+    tracer = recorder = None
+    for _ in range(REPS):
+        for trace in (False, True):
+            wall, obs_state, tr, rec = drive(trace)
+            walls[trace].append(wall)
+            observables[trace] = obs_state
+            if trace:
+                tracer, recorder = tr, rec
+    off = min(walls[False])
+    on = min(walls[True])
+    overhead_pct = (on - off) / off * 100.0
+    identical = observables[False] == observables[True]
+
+    # Full per-packet sampling, ungated: the cost ceiling that makes
+    # 1-in-8 the always-on default.  Bit-identity must hold here too.
+    full_walls = []
+    for _ in range(REPS):
+        wall, full_obs, _, _ = drive(True, sample_every=1)
+        full_walls.append(wall)
+    full_overhead_pct = (min(full_walls) - off) / off * 100.0
+    identical = identical and full_obs == observables[False]
+
+    shard_identical, shard_art, crossing = sharded_identity()
+    cluster_identical, cluster_tracer = cluster_identity()
+    fault_traces = [
+        (tid, label, spans) for tid, label, spans in
+        cluster_tracer.traces()
+        if label.startswith("fault:controller_crash")
+    ]
+    handover_total = 0.0
+    if fault_traces:
+        art = TraceArtifact.from_tracer(cluster_tracer)
+        handover_total = critical_path(
+            art.trace(fault_traces[0][0]))["total"]
+
+    table = Table(
+        "E18 — trace plane overhead (fat-tree k=4, proactive) "
+        "and bit-identity across execution planes",
+        ["measure", "value"],
+    )
+    table.add_row("wall_s trace off (min of reps)", f"{off:.3f}")
+    table.add_row(f"wall_s trace on, 1-in-{SAMPLE_EVERY} (min of reps)",
+                  f"{on:.3f}")
+    table.add_row(f"tracing overhead % (1-in-{SAMPLE_EVERY}, gated)",
+                  f"{overhead_pct:.2f}")
+    table.add_row("tracing overhead % (per-packet, ungated)",
+                  f"{full_overhead_pct:.2f}")
+    table.add_row("observables bit-identical", identical)
+    table.add_row("traces retained", tracer.trace_count)
+    table.add_row("spans recorded (flight rings)", recorder.spans_seen)
+    table.add_row("sharded digest identical (2 shards)", shard_identical)
+    table.add_row("cross-shard traces in merged artifact", crossing)
+    table.add_row("cluster dataplane identical", cluster_identical)
+    table.add_row("handover critical path (s)", f"{handover_total:.4f}")
+    return (table, off, on, overhead_pct, full_overhead_pct, identical,
+            tracer, recorder, shard_identical, shard_art, crossing,
+            cluster_identical, handover_total)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_experiment()
+
+
+def test_e18_trace(results, benchmark):
+    (table, off, on, overhead_pct, full_overhead_pct, identical, tracer,
+     recorder, shard_identical, shard_art, crossing, cluster_identical,
+     handover_total) = results
+    publish("e18_trace", table)
+    shard_art.save(os.path.join(RESULTS_DIR, "e18_trace_artifact.json"))
+    publish_json("E18", {
+        "wall_s": {"trace_off": off, "trace_on": on},
+        "overhead_pct": overhead_pct,
+        "full_sampling_overhead_pct": full_overhead_pct,
+        "sample_every": SAMPLE_EVERY,
+        "identical": identical,
+        "sharded_identical": shard_identical,
+        "cluster_identical": cluster_identical,
+        "traces": tracer.trace_count,
+        "spans_seen": recorder.spans_seen,
+        "cross_shard_traces": crossing,
+        "handover_critical_path_s": handover_total,
+    })
+    # One full-artifact merge from the sharded run, for the record.
+    benchmark.pedantic(
+        lambda: TraceArtifact.merge([shard_art]).digest,
+        rounds=1, iterations=1)
+
+    assert identical, "trace plane perturbed the seeded run"
+    assert overhead_pct < MAX_OVERHEAD_PCT, (
+        f"tracing overhead {overhead_pct:.2f}% exceeds "
+        f"{MAX_OVERHEAD_PCT}%"
+    )
+    assert tracer.trace_count > 0 and recorder.spans_seen > 0
+
+
+def test_e18_cross_plane_identity(results):
+    (_, _, _, _, _, _, _, _, shard_identical, shard_art, crossing,
+     cluster_identical, handover_total) = results
+    assert shard_identical, "tracing changed the sharded digest"
+    assert cluster_identical, "tracing changed the cluster dataplane"
+    assert crossing > 0, "no trace crossed a shard boundary"
+    assert handover_total > 0, "no handover critical path recorded"

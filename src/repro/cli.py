@@ -15,6 +15,10 @@ Five commands, aimed at kicking the tyres without writing code:
 * ``obs``       — sim-time metrics history, health reports, run diffs.
 * ``workload``  — list/run declarative workload scenarios, or fan a
   suite across worker processes.
+* ``trace``     — the causal trace plane: run a traced scenario
+  (single platform, cluster under faults, or the sharded kernel),
+  dump the merged TraceArtifact, and render span trees and critical
+  paths.
 """
 
 from __future__ import annotations
@@ -54,6 +58,8 @@ _EXPERIMENTS = [
      "run-to-run diff"),
     ("E16", "—", "workload suite: tail FCT and flow-table occupancy "
      "across realistic scenarios"),
+    ("E18", "—", "trace plane: tracing overhead and bit-identity of "
+     "seeded runs with tracing on vs off"),
     ("A1", "ablation", "reactive setup cost vs controller latency"),
     ("A2", "ablation", "microflow rules under table pressure (LRU)"),
 ]
@@ -655,6 +661,220 @@ def _cmd_workload(args) -> int:
     return 0
 
 
+def _run_trace_sharded(args):
+    """Traced run on the sharded kernel: one workload scenario, per-
+    shard tracers merged into a single global artifact."""
+    from repro.sim.shard import run_sharded
+    from repro.workload import WorkloadSpec, library
+
+    lib = library()
+    if args.scenario not in lib:
+        raise SystemExit(f"unknown scenario {args.scenario!r}; "
+                         f"pick from {sorted(lib)}")
+    spec = WorkloadSpec.from_dict(lib[args.scenario].to_dict())
+    if args.duration is not None:
+        spec.duration = args.duration
+    if args.seed is not None:
+        spec.seed = args.seed
+    result = run_sharded(spec, shards=args.shards,
+                         processes=not args.shard_sequential,
+                         trace=True)
+    artifact = result.trace_artifact
+    crossing = sum(1 for t in artifact.traces
+                   if len(artifact.shards_of(t)) > 1)
+    lines = [
+        f"Sharded run {spec.name!r}: shards={result.effective_shards} "
+        f"digest={result.digest[:12]}",
+        f"{len(artifact.traces)} traces, {artifact.span_count} spans; "
+        f"{crossing} trace(s) cross a shard boundary",
+    ]
+    return artifact, lines
+
+
+def _run_trace_platform(args):
+    """Traced platform/cluster run under a scripted fault, with the
+    flight recorder armed on invariant violations and SLO alerts."""
+    from repro.check import InvariantMonitor
+    from repro.faults import FaultSchedule
+    from repro.obs import ObsPlane
+    from repro.obs.slo import ConvergenceSLO
+    from repro.trace import FlightRecorder, TraceArtifact
+
+    controllers = args.controllers
+    if args.fault == "controller" and controllers < 2:
+        raise SystemExit("--fault controller needs a cluster; "
+                         "pass --controllers >= 2")
+    seed = args.seed if args.seed is not None else 0
+    telemetry = Telemetry(profile=False, max_traces=args.max_traces)
+    topo = build_topology(args.topology, args.size, args.bandwidth)
+    if controllers > 1:
+        from repro.cluster import ZenCluster
+
+        platform = ZenCluster(topo, controllers=controllers,
+                              profile=args.profile, seed=seed,
+                              control_latency=args.control_latency,
+                              telemetry=telemetry)
+    else:
+        platform = ZenPlatform(topo, profile=args.profile, seed=seed,
+                               control_latency=args.control_latency,
+                               telemetry=telemetry)
+    recorder = FlightRecorder(telemetry, capacity=args.ring,
+                              max_events=args.ring)
+    platform.start()
+    net = platform.net
+
+    sched = FaultSchedule(net)
+    if controllers > 1:
+        sched.attach_cluster(platform.cluster)
+    recorder.watch_faults(sched)
+    monitor = InvariantMonitor(net)
+    monitor.attach(platform.controller)
+    monitor.watch(sched)
+    recorder.watch_monitor(monitor)
+    plane = ObsPlane(platform, interval=0.05, slos=[
+        ConvergenceSLO(
+            "convergence", args.slo,
+            open_kinds=("controller_crash", "channel_down",
+                        "switch_crash", "link_down"),
+            close_kinds=("resync_done",)),
+    ])
+    plane.watch_faults(sched)
+    recorder.watch_alerts(plane.health)
+
+    hosts = list(net.hosts.values())
+    for a in hosts:
+        for b in hosts:
+            if a is not b:
+                a.add_static_arp(b.ip, b.mac)
+    for i, host in enumerate(hosts):
+        host.send_udp(hosts[(i + 1) % len(hosts)].ip, 7, 7, b"warm")
+    platform.run(1.0)
+
+    switches = sorted(net.switches)
+    target = switches[0]
+    start = net.sim.now + 0.5
+    if args.fault == "controller":
+        victim = platform.cluster.master_of(net.switches[target].dpid)
+        sched.controller_crash(start, victim,
+                               restart_after=args.down_for)
+        what = f"controller-{victim} (master of {target})"
+    elif args.fault == "channel":
+        sched.channel_flap(start, target, down_for=args.down_for,
+                           period=args.down_for * 2, count=1)
+        what = f"control channel of {target}"
+    elif args.fault == "link":
+        neighbours = [n for n in net.topology.neighbours(target)
+                      if n in net.switches]
+        if not neighbours:
+            raise SystemExit(f"{target} has no switch neighbour to cut")
+        peer = sorted(neighbours)[0]
+        sched.link_flap(start, target, peer, down_for=args.down_for,
+                        period=args.down_for * 2, count=1)
+        what = f"link {target}-{peer}"
+    else:
+        what = "none"
+    duration = args.duration if args.duration is not None else 3.0
+    platform.run(duration)
+    plane.finish()
+
+    lines = [
+        f"{'Cluster' if controllers > 1 else 'Platform'} run: "
+        f"{args.topology} size={args.size} profile={args.profile} "
+        f"fault={what}",
+        f"{len(sched.log)} injection(s), "
+        f"{len(plane.health.alerts)} SLO alert(s), "
+        f"{recorder!r}",
+    ]
+    meta = {
+        "kind": "platform-run" if controllers == 1 else "cluster-run",
+        "topology": args.topology, "size": args.size,
+        "controllers": controllers, "seed": seed, "fault": args.fault,
+    }
+    if args.flight:
+        if recorder.dumps:
+            artifact = recorder.dumps[0]
+            lines.append("flight-recorder dump captured at trigger "
+                         f"{artifact.triggers[0]['kind']!r} "
+                         f"({artifact.triggers[0]['detail']})")
+        else:
+            artifact = recorder.trigger("end-of-run",
+                                        "no trigger fired; manual "
+                                        "capture", net.sim.now)
+            lines.append("no trigger fired; captured the rings at "
+                         "end of run")
+        artifact.meta.update(meta)
+    else:
+        artifact = TraceArtifact.from_tracer(telemetry.tracer,
+                                             meta=meta)
+    return artifact, lines
+
+
+def _report_artifact(artifact, args, tree: bool) -> int:
+    from repro.trace import (
+        critical_path,
+        render_critical_path,
+        render_tree,
+    )
+
+    print(f"{artifact!r}")
+    for trigger in artifact.triggers:
+        print(f"  trigger: {trigger['kind']} at t={trigger['time']:.3f}"
+              f" ({trigger['detail']})")
+    candidates = artifact.traces
+    if args.select == "fault":
+        candidates = [t for t in artifact.traces
+                      if t["label"].startswith("fault:")]
+        if not candidates:
+            print("no fault-rooted trace in this artifact")
+            return 1
+    if args.trace_id is not None:
+        trace = artifact.trace(args.trace_id)
+        if trace is None:
+            print(f"no trace #{args.trace_id} in this artifact")
+            return 1
+    else:
+        from repro.trace.artifact import TraceArtifact as _TA
+
+        trace = _TA(candidates).longest()
+    if trace is None:
+        print("artifact holds no traces")
+        return 1
+    shards = artifact.shards_of(trace)
+    if len(shards) > 1:
+        print(f"trace #{trace['id']} crosses shards {shards}")
+    print()
+    if tree:
+        print(render_tree(trace, attrs=args.attrs))
+        print()
+    print(render_critical_path(critical_path(trace)))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.trace import TraceArtifact
+
+    if args.mode == "critical-path":
+        if not args.artifact:
+            raise SystemExit("trace critical-path needs a saved "
+                             "TraceArtifact path")
+        artifact = TraceArtifact.load(args.artifact)
+        return _report_artifact(artifact, args, tree=args.tree)
+
+    if args.shards:
+        artifact, lines = _run_trace_sharded(args)
+    else:
+        artifact, lines = _run_trace_platform(args)
+    for line in lines:
+        print(line)
+    if args.out:
+        artifact.save(args.out)
+        print(f"TraceArtifact written to {args.out}")
+    if args.mode == "report":
+        print()
+        return _report_artifact(artifact, args, tree=True)
+    return 0
+
+
 def _cmd_bench(args) -> int:
     table = Table("Experiment suite (see DESIGN.md / EXPERIMENTS.md)",
                   ["id", "artifact", "question"])
@@ -863,6 +1083,67 @@ def _parser() -> argparse.ArgumentParser:
                     help="also dump the full cProfile stats table as "
                          "JSON to this path (implies --profile)")
     wl.set_defaults(fn=_cmd_workload)
+
+    tr = sub.add_parser(
+        "trace",
+        help="causal trace plane: run a traced scenario and render "
+             "span trees, critical paths, and flight-recorder dumps",
+    )
+    tr.add_argument("mode", choices=("report", "dump", "critical-path"),
+                    help="report: run + render the selected trace; "
+                         "dump: run + write the TraceArtifact; "
+                         "critical-path: analyse a saved artifact")
+    tr.add_argument("artifact", nargs="?", default="",
+                    help="saved TraceArtifact (critical-path mode)")
+    tr.add_argument("--topology", default="ring", choices=_BUILDERS)
+    tr.add_argument("--size", type=int, default=4)
+    tr.add_argument("--profile", default="reactive",
+                    choices=("reactive", "proactive"))
+    tr.add_argument("--seed", type=int, default=None)
+    tr.add_argument("--bandwidth", type=float, default=1e9)
+    tr.add_argument("--control-latency", type=float, default=0.001)
+    tr.add_argument("--controllers", type=int, default=1,
+                    help="cluster size (>= 2 enables --fault controller)")
+    tr.add_argument("--fault", default="none",
+                    choices=("none", "controller", "channel", "link"),
+                    help="scripted fault injected mid-run")
+    tr.add_argument("--down-for", type=float, default=0.3)
+    tr.add_argument("--duration", type=float, default=None,
+                    help="post-warmup run time (platform mode) or "
+                         "spec-duration override (sharded mode)")
+    tr.add_argument("--shards", type=int, default=None,
+                    help="trace a workload scenario on the sharded "
+                         "kernel with N shards instead of a platform")
+    tr.add_argument("--scenario", default="wan-diurnal",
+                    help="workload library scenario (sharded mode)")
+    tr.add_argument("--shard-sequential", action="store_true",
+                    help="in-process shard coordinator")
+    tr.add_argument("--max-traces", type=int, default=256,
+                    help="tracer retention ring size")
+    tr.add_argument("--ring", type=int, default=256,
+                    help="flight-recorder spans kept per component")
+    tr.add_argument("--slo", type=float, default=0.05,
+                    help="convergence SLO threshold (s) armed on "
+                         "platform runs; breaching it triggers a "
+                         "flight-recorder dump")
+    tr.add_argument("--flight", action="store_true",
+                    help="save the flight-recorder dump (triggered, or "
+                         "end-of-run capture) instead of the full "
+                         "tracer snapshot")
+    tr.add_argument("--select", default="longest",
+                    choices=("longest", "fault"),
+                    help="which trace to render: the longest overall, "
+                         "or the longest fault-rooted one")
+    tr.add_argument("--trace-id", type=int, default=None,
+                    help="render this exact trace id instead")
+    tr.add_argument("--tree", action="store_true",
+                    help="also render the span tree (critical-path "
+                         "mode; report mode always does)")
+    tr.add_argument("--attrs", action="store_true",
+                    help="include span attributes in the tree")
+    tr.add_argument("--out", default="",
+                    help="write the TraceArtifact here")
+    tr.set_defaults(fn=_cmd_trace)
     return parser
 
 

@@ -53,6 +53,12 @@ class EastWestBus:
         self.epoch = 0
         self.messages_sent = 0
         self.broadcasts_sent = 0
+        #: Called with the epoch when a membership notification fires —
+        #: the failure-*detection* instant, ``detect_delay`` after the
+        #: membership event itself.  The trace plane hangs the handover
+        #: chain's ``bus.death_detect`` span here; hooks must be pure
+        #: (no events, no RNG).
+        self.on_notify: Optional[Callable[[int], None]] = None
 
     # ------------------------------------------------------------------
     # Membership
@@ -96,6 +102,8 @@ class EastWestBus:
     def _notify(self, epoch: int) -> None:
         if epoch != self.epoch:
             return  # superseded by a later membership event
+        if self.on_notify is not None:
+            self.on_notify(epoch)
         alive = sorted(self.alive)
         # Two phases: every node first anti-entropy-syncs with newly
         # visible peers, then every node recomputes mastership — so a

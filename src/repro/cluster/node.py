@@ -142,7 +142,8 @@ class ClusterController(Controller):
     # Mastership transitions
     # ------------------------------------------------------------------
     def _adopt(self, handle: SwitchHandle, bump: bool,
-               previous: Optional[int] = None) -> None:
+               previous: Optional[int] = None,
+               trace_parent: Optional[int] = None) -> None:
         """Become MASTER of ``handle``; resync when state could differ."""
         dpid = handle.dpid
         if dpid in self.switches:
@@ -157,6 +158,18 @@ class ClusterController(Controller):
             self.cluster.broadcast_term(self, dpid, term)
         else:
             self.terms.setdefault(dpid, term)
+        role_span = None
+        tracer = self.cluster.tracer
+        trace_tid = self.cluster.trace_ctx_id
+        if (bump and trace_parent is not None and tracer is not None
+                and trace_tid is not None):
+            bump_span = tracer.record(
+                trace_tid, "cluster.term_bump", "cluster",
+                parent=trace_parent, dpid=dpid, term=term,
+                node=self.node_id)
+            role_span = tracer.record(
+                trace_tid, "cluster.role_grant", "cluster",
+                parent=bump_span, dpid=dpid, node=self.node_id)
         stale = self._stale.pop(dpid, None)
         if self._g_stale is not None:
             self._g_stale.set(len(self._stale))
@@ -168,6 +181,9 @@ class ClusterController(Controller):
         if stale is not None or self._ledger.get(dpid):
             # Inherited or reconnected: reconcile the switch's tables
             # against the replicated intent ledger (PR-2 handshake).
+            if role_span is not None:
+                self._resync_trace[dpid] = (trace_tid, role_span,
+                                            self.sim.now)
             self._start_resync(handle)
         for app in self.apps:
             rebuild = getattr(app, "schedule_rebuild", None)
@@ -243,6 +259,7 @@ class ClusterController(Controller):
             d for d in self.pending_master
             if new_assign.get(d) == self.node_id
         }
+        election_span = self.cluster.trace_election(self.node_id)
         for dpid in self.cluster.dpids:
             old_m = old_assign.get(dpid)
             new_m = new_assign.get(dpid)
@@ -251,7 +268,8 @@ class ClusterController(Controller):
             if new_m == self.node_id:
                 handle = self.handles.get(dpid)
                 if handle is not None and handle.connected:
-                    self._adopt(handle, bump=True, previous=old_m)
+                    self._adopt(handle, bump=True, previous=old_m,
+                                trace_parent=election_span)
                 else:
                     self.pending_master.add(dpid)
             elif old_m == self.node_id:
@@ -507,6 +525,17 @@ class ControllerCluster:
         self.on_failover_complete: List[Callable[[int, float], None]] = []
         #: crashed node -> (crash time, dpids still awaiting re-adoption)
         self._pending_failover: Dict[int, tuple] = {}
+        #: Trace plane: the tracer shared with the platform (``None``
+        #: when tracing is off) and the active fault-root context
+        #: ``(trace_id, root_span, fired_at)`` handed over by
+        #: :meth:`~repro.faults.schedule.FaultSchedule._fire` so the
+        #: asynchronous handover chain records under the fault's trace.
+        self.tracer = (telemetry.tracer
+                       if telemetry is not None and telemetry.enabled
+                       and telemetry.tracing else None)
+        self._trace_ctx: Optional[tuple] = None
+        self._trace_detect: Optional[int] = None
+        self.bus.on_notify = self._on_bus_notify
         for node_id in range(size):
             node = ClusterController(
                 sim, node_id, self,
@@ -568,6 +597,47 @@ class ControllerCluster:
         return not self._pending_failover
 
     # ------------------------------------------------------------------
+    # Trace plane (causal handover chain)
+    # ------------------------------------------------------------------
+    def note_fault_trace(self, trace_id: Optional[int],
+                         span_id: Optional[int], at: float) -> None:
+        """Adopt a fault injection's root span as the handover context.
+
+        Every subsequent span of the chain — death detection, election,
+        term bump, role grant, resync, failover completion — parents
+        (transitively) under this root, so one trace explains the whole
+        recovery.
+        """
+        if self.tracer is None or trace_id is None:
+            return
+        self._trace_ctx = (trace_id, span_id, at)
+        self._trace_detect = None
+
+    @property
+    def trace_ctx_id(self) -> Optional[int]:
+        return self._trace_ctx[0] if self._trace_ctx is not None else None
+
+    def _on_bus_notify(self, epoch: int) -> None:
+        if self.tracer is None or self._trace_ctx is None:
+            return
+        tid, root, at = self._trace_ctx
+        # Spans the detection window: membership event -> notification.
+        self._trace_detect = self.tracer.record(
+            tid, "bus.death_detect", "cluster", start=at,
+            parent=root, epoch=epoch)
+
+    def trace_election(self, node_id: int) -> Optional[int]:
+        """Record one node's mastership recomputation; returns its span
+        id (the parent for the node's term bumps), or ``None``."""
+        if self.tracer is None or self._trace_ctx is None:
+            return None
+        tid, root, _at = self._trace_ctx
+        parent = self._trace_detect if self._trace_detect is not None \
+            else root
+        return self.tracer.record(tid, "cluster.election", "cluster",
+                                  parent=parent, node=node_id)
+
+    # ------------------------------------------------------------------
     # Coordination callbacks
     # ------------------------------------------------------------------
     def broadcast_term(self, node: ClusterController, dpid: int,
@@ -592,6 +662,13 @@ class ControllerCluster:
                 if not pending:
                     del self._pending_failover[crashed_id]
                     elapsed = self.sim.now - started
+                    if (self.tracer is not None
+                            and self._trace_ctx is not None):
+                        tid, root, _at = self._trace_ctx
+                        self.tracer.record(
+                            tid, "cluster.failover_complete", "cluster",
+                            start=started, parent=root,
+                            node=crashed_id)
                     for hook in self.on_failover_complete:
                         hook(crashed_id, elapsed)
 

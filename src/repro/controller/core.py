@@ -110,6 +110,7 @@ class SwitchHandle:
         if ctx is not None:
             self.controller.telemetry.tracer.record(
                 ctx, "flow.install", "controller",
+                parent=self.controller._trace_span,
                 dpid=self.dpid, table=table_id, priority=priority,
             )
         self.send(FlowMod(
@@ -161,9 +162,12 @@ class SwitchHandle:
             ctx = packet.trace_id
         if ctx is not None:
             tracer = self.controller.telemetry.tracer
-            tracer.record(ctx, "packet.out", "controller", dpid=self.dpid)
-            # Stash so the switch agent re-adopts after deserialisation.
-            tracer.stash(("packet_out", self.dpid, data), ctx)
+            tracer.record(ctx, "packet.out", "controller", dpid=self.dpid,
+                          parent=self.controller._trace_span)
+            # Stash so the switch agent re-adopts after deserialisation;
+            # scoped to the channel so an epoch bump prunes the entry.
+            tracer.stash(("packet_out", self.dpid, data), ctx,
+                         scope=self.endpoint._channel)
         self.send(PacketOut(in_port, actions, data))
 
     def barrier(self, callback: Optional[Callable[[], None]] = None) -> None:
@@ -174,13 +178,29 @@ class SwitchHandle:
         barrier certifies completed processing, which a dead channel
         cannot.
         """
+        ctx = self.controller._trace_ctx
+        parent = self.controller._trace_span
+        requested_at = self.controller.sim.now
         if callback is None:
+            if ctx is not None:
+                self.controller.telemetry.tracer.record(
+                    ctx, "barrier.request", "controller",
+                    parent=parent, dpid=self.dpid)
             self.send(BarrierRequest())
             return
-        self.endpoint.request(
-            BarrierRequest(),
-            lambda msg: callback() if isinstance(msg, BarrierReply) else None,
-        )
+
+        def _on_reply(msg: Message) -> None:
+            if not isinstance(msg, BarrierReply):
+                return
+            if ctx is not None:
+                # The span covers request -> reply: everything the
+                # switch had queued (flow-mods included) is committed.
+                self.controller.telemetry.tracer.record(
+                    ctx, "barrier", "controller", start=requested_at,
+                    parent=parent, dpid=self.dpid)
+            callback()
+
+        self.endpoint.request(BarrierRequest(), _on_reply)
 
     def request_stats(self, kind: int,
                       callback: Callable[[StatsReply], None],
@@ -326,6 +346,14 @@ class Controller:
         #: Trace id of the packet-in currently being dispatched, so app
         #: spans and resulting flow-mods/packet-outs join its trace.
         self._trace_ctx: Optional[int] = None
+        #: Span id of the innermost active span (dispatch, then the app
+        #: handler) — the parent for flow-mod/packet-out/barrier spans,
+        #: which is what turns a trace into a causal tree.
+        self._trace_span: Optional[int] = None
+        #: Pending resync trace contexts: dpid -> (trace_id, parent
+        #: span, started_at), recorded when a traced adoption kicks off
+        #: a ledger resync and closed by ``_on_resync_stats``.
+        self._resync_trace: Dict[int, Tuple[int, Optional[int], float]] = {}
         self._profile = tel.profiler.enabled
         if tel.enabled:
             self._m_packet_ins = tel.metrics.counter(
@@ -375,15 +403,27 @@ class Controller:
         for handler, owner in handlers:
             sim_t0 = self.sim.now
             wall_t0 = time.perf_counter() if self._profile else 0.0
-            handler(event)
+            app_span = None
+            outer_span = self._trace_span
+            if self._trace_ctx is not None:
+                # Recorded *before* the handler so flow-mod/packet-out
+                # spans emitted inside it nest under the app span.  No
+                # wall time in attrs: trace output must stay
+                # deterministic across identical-seed runs.
+                app_span = tracer.record(
+                    self._trace_ctx, f"app.{owner}", "app",
+                    start=sim_t0, parent=outer_span,
+                    app=owner, event=event_name)
+                self._trace_span = app_span
+            try:
+                handler(event)
+            finally:
+                self._trace_span = outer_span
             if self._profile:
                 profiler.record(owner, event_name,
                                 time.perf_counter() - wall_t0)
-            if self._trace_ctx is not None:
-                # No wall time in attrs: trace output must stay
-                # deterministic across identical-seed runs.
-                tracer.record(self._trace_ctx, f"app.{owner}", "app",
-                              start=sim_t0, app=owner, event=event_name)
+            if app_span is not None:
+                tracer.end_span(self._trace_ctx, app_span)
 
     # ------------------------------------------------------------------
     # App lifecycle
@@ -554,6 +594,13 @@ class Controller:
             self._m_resyncs.inc()
             self._m_resync_flows.labels("reinstalled").inc(reinstalled)
             self._m_resync_flows.labels("deleted").inc(deleted)
+        pending = self._resync_trace.pop(handle.dpid, None)
+        if pending is not None:
+            tid, parent, started = pending
+            self.telemetry.tracer.record(
+                tid, "cluster.resync", "cluster", start=started,
+                parent=parent, dpid=handle.dpid,
+                reinstalled=reinstalled, deleted=deleted)
         self.publish(ResyncDone(handle, reinstalled, deleted))
 
     # ------------------------------------------------------------------
@@ -600,27 +647,30 @@ class Controller:
                            msg: PacketIn) -> None:
         arrival = self.sim.now
         trace_id = None
+        trace_parent = None
         if self.telemetry.tracing:
             trace_id, sent_at = self.telemetry.tracer.adopt(
                 ("packet_in", msg.in_port, msg.data)
             )
             if trace_id is not None:
-                self.telemetry.tracer.record(
+                trace_parent = self.telemetry.tracer.record(
                     trace_id, "channel.packet_in", "channel",
                     start=sent_at, end=arrival, dpid=handle.dpid,
                 )
         if self.packet_in_service_time <= 0:
-            self._process_packet_in(handle, msg, arrival, trace_id)
+            self._process_packet_in(handle, msg, arrival, trace_id,
+                                    trace_parent)
             return
         start = max(arrival, self._cpu_free_at)
         finish = start + self.packet_in_service_time
         self._cpu_free_at = finish
         self.sim.schedule_at(finish, self._process_packet_in,
-                             handle, msg, arrival, trace_id)
+                             handle, msg, arrival, trace_id, trace_parent)
 
     def _process_packet_in(self, handle: SwitchHandle, msg: PacketIn,
                            arrival: float,
-                           trace_id: Optional[int] = None) -> None:
+                           trace_id: Optional[int] = None,
+                           trace_parent: Optional[int] = None) -> None:
         self.packet_ins_handled += 1
         delay = self.sim.now - arrival
         self.packet_in_delays.append(delay)
@@ -628,18 +678,22 @@ class Controller:
             self._m_packet_ins.inc()
             self._m_pi_delay.observe(delay)
         packet = Packet.decode(msg.data)
+        dispatch_span = None
         if trace_id is not None:
             packet.trace_id = trace_id
-            self.telemetry.tracer.record(
+            dispatch_span = self.telemetry.tracer.record(
                 trace_id, "controller.dispatch", "controller",
-                start=arrival, dpid=handle.dpid, reason=msg.reason,
+                start=arrival, parent=trace_parent,
+                dpid=handle.dpid, reason=msg.reason,
             )
         self._trace_ctx = trace_id
+        self._trace_span = dispatch_span
         try:
             self.publish(PacketInEvent(handle, msg.in_port, packet,
                                        msg.reason))
         finally:
             self._trace_ctx = None
+            self._trace_span = None
 
     # ------------------------------------------------------------------
     # Introspection

@@ -24,14 +24,23 @@ __all__ = ["FaultEvent", "FaultSchedule"]
 
 
 class FaultEvent:
-    """One executed injection: what, when, to whom."""
+    """One executed injection: what, when, to whom.
 
-    __slots__ = ("time", "kind", "target")
+    ``trace_id``/``span_id`` point at the injection's root span when
+    tracing is on — the anchor the cluster handover chain, the obs
+    annotations, and SLO exemplars all hang off.
+    """
 
-    def __init__(self, time: float, kind: str, target: str) -> None:
+    __slots__ = ("time", "kind", "target", "trace_id", "span_id")
+
+    def __init__(self, time: float, kind: str, target: str,
+                 trace_id: Optional[int] = None,
+                 span_id: Optional[int] = None) -> None:
         self.time = time
         self.kind = kind
         self.target = target
+        self.trace_id = trace_id
+        self.span_id = span_id
 
     def __repr__(self) -> str:
         return f"<FaultEvent t={self.time:.3f} {self.kind} {self.target}>"
@@ -256,9 +265,17 @@ class FaultSchedule:
         if self._m_faults is not None:
             self._m_faults.labels(kind).inc()
         if self._tracer is not None:
-            tid = self._tracer.start_trace(f"fault:{kind}")
-            self._tracer.record(tid, f"fault.{kind}", "fault",
-                                target=target)
+            tid = self._tracer.start_trace(f"fault:{kind} {target}")
+            sid = self._tracer.record(tid, f"fault.{kind}", "fault",
+                                      target=target)
+            event.trace_id = tid
+            event.span_id = sid
+            if (self.cluster is not None
+                    and kind.startswith("controller")):
+                # Hand the root span to the cluster: the asynchronous
+                # handover chain (death detection -> election -> term
+                # bump -> role grant -> resync) records under it.
+                self.cluster.note_fault_trace(tid, sid, self.sim.now)
         action()
         if self.on_fire is not None:
             self.on_fire(event)

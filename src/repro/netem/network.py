@@ -188,6 +188,7 @@ class Network:
         local_name = spec.a if local_is_a else spec.b
         att = self._attachment_for(local_name)
         link = self._boundary_factory(index, spec, att, local_is_a)
+        link.attach_telemetry(self.telemetry)
         self.links.append(link)
         self._link_index[(spec.a, spec.b)] = link
         self._link_index[(spec.b, spec.a)] = link

@@ -221,8 +221,13 @@ class ObsPlane:
         def hook(event) -> None:
             if previous is not None:
                 previous(event)
+            # The fault's root trace rides along as an exemplar, so
+            # convergence measurements opened by this annotation can
+            # point back at the causal span tree.
             self.scraper.annotate(event.kind, event.target,
-                                  time=event.time)
+                                  time=event.time,
+                                  trace_id=getattr(event, "trace_id",
+                                                   None))
 
         schedule.on_fire = hook
         return self

@@ -79,7 +79,8 @@ class RunArtifact:
             for sid, doc in data.get("series", {}).items()
         }
         annotations = [
-            Annotation(a["time"], a["kind"], a["label"])
+            Annotation(a["time"], a["kind"], a["label"],
+                       trace_id=a.get("trace_id"))
             for a in data.get("annotations", ())
         ]
         health = data.get("health")

@@ -50,17 +50,27 @@ def series_id(name: str, labelnames: Tuple[str, ...],
 
 
 class Annotation:
-    """One timestamped mark on the run's shared timeline."""
+    """One timestamped mark on the run's shared timeline.
 
-    __slots__ = ("time", "kind", "label")
+    ``trace_id`` is an optional exemplar: the causal trace explaining
+    the event (a fault injection's root trace, say), so SLO
+    measurements can link a latency number back to its span tree.
+    """
 
-    def __init__(self, time: float, kind: str, label: str) -> None:
+    __slots__ = ("time", "kind", "label", "trace_id")
+
+    def __init__(self, time: float, kind: str, label: str,
+                 trace_id: Optional[int] = None) -> None:
         self.time = time
         self.kind = kind
         self.label = label
+        self.trace_id = trace_id
 
     def to_dict(self) -> dict:
-        return {"time": self.time, "kind": self.kind, "label": self.label}
+        doc = {"time": self.time, "kind": self.kind, "label": self.label}
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
+        return doc
 
     def __repr__(self) -> str:
         return f"<Annotation t={self.time:.3f} {self.kind} {self.label}>"
@@ -151,11 +161,12 @@ class MetricsScraper:
         self._probes.append((name, fn))
 
     def annotate(self, kind: str, label: str,
-                 time: Optional[float] = None) -> Annotation:
+                 time: Optional[float] = None,
+                 trace_id: Optional[int] = None) -> Annotation:
         """Mark the shared timeline (defaults to the current sim time)."""
         if time is None:
             time = self.sim.now if self.sim is not None else 0.0
-        ann = Annotation(time, kind, label)
+        ann = Annotation(time, kind, label, trace_id=trace_id)
         self.annotations.append(ann)
         return ann
 

@@ -223,7 +223,11 @@ class ConvergenceSLO(SLO):
         self.close_kinds = tuple(close_kinds)
         #: Completed (label, opened_at, elapsed) convergence measurements.
         self.measurements: List[Tuple[str, float, float]] = []
+        #: Trace-id exemplar per measurement (same index), ``None``
+        #: when the opening annotation carried no trace.
+        self.exemplars: List[Optional[int]] = []
         self._open: Dict[str, float] = {}
+        self._open_trace: Dict[str, Optional[int]] = {}
         self._cursor = 0  # annotations consumed so far
 
     def measure(self, scraper, t: float) -> Optional[float]:
@@ -235,11 +239,15 @@ class ConvergenceSLO(SLO):
                 # Re-opening resets the clock; the older fault is
                 # superseded by the newer one for the same target.
                 self._open[ann.label] = ann.time
+                self._open_trace[ann.label] = getattr(ann, "trace_id",
+                                                      None)
             elif ann.kind in self.close_kinds:
                 opened = self._open.pop(ann.label, None)
                 if opened is not None:
                     self.measurements.append(
                         (ann.label, opened, ann.time - opened))
+                    self.exemplars.append(
+                        self._open_trace.pop(ann.label, None))
         if not self._open:
             return 0.0
         return max(t - opened for opened in self._open.values())
@@ -279,6 +287,10 @@ class SLOEvaluator:
         self.slos = list(slos)
         self.scraper = scraper
         self.alerts: List[Alert] = []
+        #: Called with each :class:`Alert` at the moment it fires (not
+        #: at resolve).  The flight recorder dumps its rings here so a
+        #: red SLO ships its causal history; hooks must be pure reads.
+        self.on_alert: List[Callable[[Alert], None]] = []
         self._state: Dict[str, _SLOState] = {
             slo.name: _SLOState() for slo in self.slos
         }
@@ -330,6 +342,8 @@ class SLOEvaluator:
                 state.firing = True
                 state.alert = Alert(slo.name, fired_at=t, worst=value)
                 self.alerts.append(state.alert)
+                for hook in self.on_alert:
+                    hook(state.alert)
             if state.firing and state.alert is not None:
                 worse = (value > state.alert.worst if slo.op == "<="
                          else value < state.alert.worst)
@@ -369,10 +383,14 @@ class SLOEvaluator:
                            if a.slo == slo.name],
             })
             if isinstance(slo, ConvergenceSLO):
+                exemplars = list(slo.exemplars)
+                exemplars += [None] * (len(slo.measurements)
+                                       - len(exemplars))
                 doc["measurements"] = [
                     {"label": label, "opened_at": opened,
-                     "elapsed": elapsed}
-                    for label, opened, elapsed in slo.measurements
+                     "elapsed": elapsed, "trace_id": exemplar}
+                    for (label, opened, elapsed), exemplar
+                    in zip(slo.measurements, exemplars)
                 ]
             summaries.append(doc)
         return HealthReport(t, summaries)

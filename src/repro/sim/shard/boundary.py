@@ -29,9 +29,15 @@ from repro.sim import Simulator
 
 __all__ = ["BoundaryLink", "ShardMessage", "decode_frame"]
 
-#: (arrival_time, link_index, direction, tx_seq, epoch, frame_bytes) —
-#: plain tuple so it pickles cheaply across worker pipes.
-ShardMessage = Tuple[float, int, int, int, int, bytes]
+#: (arrival_time, link_index, direction, tx_seq, epoch, frame_bytes,
+#: trace_id, parent_span) — plain tuple so it pickles cheaply across
+#: worker pipes.  The last two fields carry the causal trace context
+#: over the wire: encoding strips ``Packet.trace_id``, so the tx half
+#: rides it (plus the boundary-tx span id) alongside the frame and the
+#: rx stub re-adopts the trace into its own tracer on delivery.  They
+#: are ``None`` when tracing is off or the frame was never sampled.
+ShardMessage = Tuple[float, int, int, int, int, bytes,
+                     Optional[int], Optional[int]]
 
 
 def decode_frame(data: bytes) -> Packet:
@@ -58,8 +64,16 @@ class _BoundaryTx(_Direction):
 
     def _schedule_arrival(self, arrival: float, packet: Packet) -> None:
         self._key_seq += 1
+        trace_id = packet.trace_id
+        parent_span = None
+        if self._tracer is not None and trace_id is not None:
+            parent_span = self._tracer.record(
+                trace_id, "shard.boundary_tx", "shard",
+                start=self.sim.now, end=arrival,
+                link=self.name, seq=self._key_seq)
         self.outbox.append((arrival, self.link_index, self.direction,
-                            self._key_seq, self.epoch, packet.encode()))
+                            self._key_seq, self.epoch, packet.encode(),
+                            trace_id, parent_span))
 
 
 class BoundaryLink:
@@ -104,10 +118,26 @@ class BoundaryLink:
         # Frames "from" the remote end arrive via deliver(), never here.
 
     def deliver(self, message: ShardMessage) -> None:
-        """Merge one incoming cross-shard frame into the local heap."""
-        arrival, _index, _direction, tx_seq, epoch, frame = message
+        """Merge one incoming cross-shard frame into the local heap.
+
+        When the message carries trace context, the receive half
+        re-adopts the trace into this shard's tracer (ids stay globally
+        unique by the stride scheme, so no renumbering) and records the
+        boundary-rx span parented to the sender's boundary-tx span —
+        the stitch the artifact merge later relies on.
+        """
+        (arrival, _index, _direction, tx_seq, epoch, frame,
+         trace_id, parent_span) = message
         rx = self._rx
-        rx.sim.schedule_at(arrival, rx._arrive, decode_frame(frame),
+        packet = decode_frame(frame)
+        if trace_id is not None and rx._tracer is not None:
+            if rx._tracer.adopt_foreign(trace_id):
+                packet.trace_id = trace_id
+                rx._tracer.record(
+                    trace_id, "shard.boundary_rx", "shard",
+                    start=arrival, end=arrival,
+                    parent=parent_span, link=rx.name, seq=tx_seq)
+        rx.sim.schedule_at(arrival, rx._arrive, packet,
                            epoch, key=(rx.key_base, tx_seq))
 
     # -- failure injection ------------------------------------------
@@ -123,7 +153,19 @@ class BoundaryLink:
 
     # -- Link API the rest of the stack touches ----------------------
     def attach_telemetry(self, telemetry) -> None:
-        pass  # shard workers run with telemetry off
+        """Bind both halves' metrics and tracers.
+
+        With per-shard telemetry on (``--trace``), the tx half records
+        the boundary-tx span whose id rides the outbox tuple, and the
+        rx half records the adopting boundary-rx span on delivery.
+        """
+        if telemetry is None or not telemetry.enabled:
+            return
+        a, b = self.spec.a, self.spec.b
+        names = {0: f"{a}->{b}", 1: f"{b}->{a}"}
+        self._tx.attach_telemetry(telemetry, names[self._tx.direction])
+        self._rx.attach_telemetry(telemetry,
+                                  names[1 - self._tx.direction])
 
     def reset_utilisation_window(self) -> None:
         self._tx.reset_window()

@@ -35,6 +35,7 @@ from repro.analysis import percentile
 from repro.errors import SimulationError
 from repro.sim.shard.partition import Partition, partition_topology
 from repro.sim.shard.worker import ShardWorker
+from repro.trace.artifact import TraceArtifact
 from repro.workload.spec import WorkloadSpec, build_spec_topology
 
 __all__ = ["ShardedResult", "run_sharded"]
@@ -52,17 +53,21 @@ class ShardedResult:
     """
 
     __slots__ = ("spec", "shards", "effective_shards", "processes",
-                 "observables", "summary")
+                 "observables", "summary", "trace_artifact")
 
     def __init__(self, spec: WorkloadSpec, shards: int,
                  effective_shards: int, processes: bool,
-                 observables: dict, summary: dict) -> None:
+                 observables: dict, summary: dict,
+                 trace_artifact=None) -> None:
         self.spec = spec
         self.shards = shards
         self.effective_shards = effective_shards
         self.processes = processes
         self.observables = observables
         self.summary = summary
+        #: Merged per-shard :class:`~repro.trace.artifact.TraceArtifact`
+        #: when the run was traced; deliberately OUTSIDE the digest.
+        self.trace_artifact = trace_artifact
 
     @property
     def digest(self) -> str:
@@ -102,8 +107,9 @@ class ShardedResult:
 # Worker adapters: same protocol in-process and across a pipe
 # ----------------------------------------------------------------------
 class _LocalAdapter:
-    def __init__(self, spec_doc: dict, shard_id: int, shards: int) -> None:
-        self.worker = ShardWorker(spec_doc, shard_id, shards)
+    def __init__(self, spec_doc: dict, shard_id: int, shards: int,
+                 trace: bool = False) -> None:
+        self.worker = ShardWorker(spec_doc, shard_id, shards, trace=trace)
         self.next_time = self.worker.next_event_time
 
     def advance_start(self, grant, final, messages) -> None:
@@ -116,14 +122,18 @@ class _LocalAdapter:
     def collect(self) -> dict:
         return self.worker.collect()
 
+    def traces(self) -> dict:
+        return self.worker.collect_traces()
+
     def close(self) -> None:
         pass
 
 
-def _shard_child(conn, spec_doc: dict, shard_id: int, shards: int) -> None:
+def _shard_child(conn, spec_doc: dict, shard_id: int, shards: int,
+                 trace: bool = False) -> None:
     """Child-process main: rebuild the shard, serve window commands."""
     try:
-        worker = ShardWorker(spec_doc, shard_id, shards)
+        worker = ShardWorker(spec_doc, shard_id, shards, trace=trace)
         conn.send(("ready", worker.next_event_time))
         while True:
             command = conn.recv()
@@ -133,6 +143,8 @@ def _shard_child(conn, spec_doc: dict, shard_id: int, shards: int) -> None:
                 conn.send(worker.advance(grant, messages, final))
             elif op == "collect":
                 conn.send(worker.collect())
+            elif op == "traces":
+                conn.send(worker.collect_traces())
             elif op == "quit":
                 return
     except EOFError:  # coordinator died; exit quietly
@@ -149,11 +161,11 @@ def _shard_child(conn, spec_doc: dict, shard_id: int, shards: int) -> None:
 
 class _ProcessAdapter:
     def __init__(self, ctx, spec_doc: dict, shard_id: int,
-                 shards: int) -> None:
+                 shards: int, trace: bool = False) -> None:
         self.conn, child_conn = ctx.Pipe(duplex=True)
         self.proc = ctx.Process(target=_shard_child,
                                 args=(child_conn, spec_doc, shard_id,
-                                      shards))
+                                      shards, trace))
         self.proc.daemon = True
         self.proc.start()
         child_conn.close()
@@ -180,6 +192,10 @@ class _ProcessAdapter:
 
     def collect(self) -> dict:
         self.conn.send(("collect",))
+        return self._recv()
+
+    def traces(self) -> dict:
+        self.conn.send(("traces",))
         return self._recv()
 
     def close(self) -> None:
@@ -284,7 +300,9 @@ def _window_loop(adapters, partition: Partition,
 # ----------------------------------------------------------------------
 def run_sharded(spec: WorkloadSpec, shards: int = 1,
                 processes: Optional[bool] = None,
-                out: Optional[str] = None) -> ShardedResult:
+                out: Optional[str] = None,
+                trace: bool = False,
+                trace_out: Optional[str] = None) -> ShardedResult:
     """Run one workload spec on the sharded kernel.
 
     ``processes=None`` picks multiprocess execution exactly when the
@@ -292,6 +310,13 @@ def run_sharded(spec: WorkloadSpec, shards: int = 1,
     the in-process coordinator (tests, profiling, CI determinism
     checks — bit-identical to the multiprocess run by construction,
     asserted in the differential tests).
+
+    ``trace=True`` arms per-shard telemetry (each tracer minting ids in
+    its own stride band) and merges every shard's span forest into one
+    global :class:`~repro.trace.artifact.TraceArtifact` on
+    :attr:`ShardedResult.trace_artifact`, optionally saved to
+    ``trace_out``.  The observables digest is bit-identical with
+    tracing on or off.
     """
     topology = build_spec_topology(spec)
     partition = partition_topology(topology, shards)
@@ -300,6 +325,7 @@ def run_sharded(spec: WorkloadSpec, shards: int = 1,
                      else effective > 1)
     spec_doc = spec.to_dict()
 
+    trace_parts: Optional[List[dict]] = None
     started = time.perf_counter()
     if use_processes and effective > 1:
         import multiprocessing
@@ -308,21 +334,25 @@ def run_sharded(spec: WorkloadSpec, shards: int = 1,
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX
             ctx = multiprocessing.get_context("spawn")
-        adapters = [_ProcessAdapter(ctx, spec_doc, i, shards)
+        adapters = [_ProcessAdapter(ctx, spec_doc, i, shards, trace=trace)
                     for i in range(effective)]
         try:
             for adapter in adapters:
                 adapter.ready()
             stats = _window_loop(adapters, partition, spec.duration)
             parts = [adapter.collect() for adapter in adapters]
+            if trace:
+                trace_parts = [adapter.traces() for adapter in adapters]
         finally:
             for adapter in adapters:
                 adapter.close()
     else:
-        adapters = [_LocalAdapter(spec_doc, i, shards)
+        adapters = [_LocalAdapter(spec_doc, i, shards, trace=trace)
                     for i in range(effective)]
         stats = _window_loop(adapters, partition, spec.duration)
         parts = [adapter.collect() for adapter in adapters]
+        if trace:
+            trace_parts = [adapter.traces() for adapter in adapters]
     wall = time.perf_counter() - started
 
     observables = _merge_observables(parts)
@@ -356,9 +386,18 @@ def run_sharded(spec: WorkloadSpec, shards: int = 1,
         "rounds": stats["rounds"],
         "wall_s": wall,
     }
+    trace_artifact = None
+    if trace_parts is not None:
+        trace_artifact = TraceArtifact.merge(
+            [TraceArtifact.from_dict(doc) for doc in trace_parts],
+            meta={"kind": "sharded-run", "name": spec.name,
+                  "seed": spec.seed, "shards": effective})
     result = ShardedResult(spec, shards, effective,
                            use_processes and effective > 1,
-                           observables, summary)
+                           observables, summary,
+                           trace_artifact=trace_artifact)
     if out:
         result.save(out)
+    if trace_out and trace_artifact is not None:
+        trace_artifact.save(trace_out)
     return result

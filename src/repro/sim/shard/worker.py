@@ -26,6 +26,8 @@ from repro.sim import Simulator
 from repro.sim.shard.boundary import BoundaryLink, ShardMessage
 from repro.sim.shard.partition import Partition, partition_topology
 from repro.sim.shard.program import Program, build_program, build_routes
+from repro.telemetry import Telemetry
+from repro.trace.artifact import SHARD_ID_STRIDE, TraceArtifact
 from repro.workload.spec import WorkloadSpec, build_spec_topology
 
 __all__ = ["ShardWorker"]
@@ -34,13 +36,23 @@ __all__ = ["ShardWorker"]
 class ShardWorker:
     """Everything one shard owns, plus the window-protocol surface."""
 
-    def __init__(self, spec_doc: dict, shard_id: int, shards: int) -> None:
+    def __init__(self, spec_doc: dict, shard_id: int, shards: int,
+                 trace: bool = False) -> None:
         self.spec = WorkloadSpec.from_dict(spec_doc)
         self.shard_id = shard_id
         self.topology = build_spec_topology(self.spec)
         self.partition: Partition = partition_topology(self.topology, shards)
         self.program: Program = build_program(self.spec, self.topology)
-        self.sim = Simulator(seed=self.spec.seed, stable_ties=True)
+        # Per-shard telemetry: the tracer mints trace and span ids in
+        # this shard's stride band, so the engine can merge every
+        # shard's artifact without renumbering.  Telemetry is a pure
+        # observer (doctrine), so the digest is bit-identical either
+        # way — asserted by the differential tests.
+        self.telemetry = (
+            Telemetry(trace_id_base=shard_id * SHARD_ID_STRIDE)
+            if trace else None)
+        self.sim = Simulator(seed=self.spec.seed, stable_ties=True,
+                             telemetry=self.telemetry)
         self.outbox: List[ShardMessage] = []
         self.boundaries: Dict[int, BoundaryLink] = {}
         local = self.partition.nodes_of(shard_id)
@@ -199,3 +211,18 @@ class ShardWorker:
             "switches": switches,
             "links": links,
         }
+
+    def collect_traces(self) -> dict:
+        """This shard's tracer snapshot, in TraceArtifact dict form.
+
+        Kept out of :meth:`collect` deliberately: observables feed the
+        partition-invariance digest, and the trace plane must never
+        move that needle.
+        """
+        tracer = (self.sim.telemetry.tracer
+                  if self.telemetry is not None else None)
+        if tracer is None or not tracer.enabled:
+            return TraceArtifact([], meta={"shard": self.shard_id}
+                                 ).to_dict()
+        return TraceArtifact.from_tracer(
+            tracer, meta={"shard": self.shard_id}).to_dict()

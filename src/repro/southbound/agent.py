@@ -175,7 +175,7 @@ class SwitchAgent:
             # encoded bytes and the controller adopts it on arrival.
             # Valid because the channel is ordered and lossless.
             self._tel.tracer.stash(("packet_in", in_port, data),
-                                   packet.trace_id)
+                                   packet.trace_id, scope=self.channel)
         self.endpoint.send(PacketIn(in_port, reason, data))
 
     def _on_flow_removed(self, table_id: int, entry: FlowEntry,

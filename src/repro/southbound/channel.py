@@ -281,7 +281,16 @@ class ControlChannel:
         self._m_flaps = None
         self._m_retries = None
         self._m_failures = None
+        self._tracer = None
+        self._m_stash_pruned = None
         if telemetry is not None and telemetry.enabled:
+            if telemetry.tracing:
+                self._tracer = telemetry.tracer
+                self._m_stash_pruned = telemetry.metrics.counter(
+                    "trace_stash_pruned_total",
+                    "Stashed trace ids discarded at an epoch change",
+                    ("channel",),
+                ).labels(name or "channel")
             msgs = telemetry.metrics.counter(
                 "channel_messages_total", "Control messages sent",
                 ("channel", "direction"),
@@ -316,6 +325,20 @@ class ControlChannel:
                 ("channel",),
             ).labels(label)
 
+    def _prune_stash(self) -> None:
+        """Evict trace ids stashed for frames this epoch change kills.
+
+        Any id stashed under this channel and not yet adopted belongs
+        to an in-flight frame that will be dropped on arrival (epoch
+        mismatch) — without pruning, those entries leak forever and a
+        later byte-identical frame could adopt a stale trace.
+        """
+        if self._tracer is None:
+            return
+        pruned = self._tracer.prune_scope(self)
+        if pruned and self._m_stash_pruned is not None:
+            self._m_stash_pruned.inc(pruned)
+
     def connect(self) -> None:
         """Bring the channel up and notify both endpoints."""
         if self.connected:
@@ -323,6 +346,7 @@ class ControlChannel:
         self.connected = True
         self.epoch += 1
         self.connects += 1
+        self._prune_stash()
         if self._m_flaps is not None:
             self._m_flaps.labels(self.name or "channel", "connect").inc()
         self.switch_end._connection_changed(True)
@@ -334,6 +358,7 @@ class ControlChannel:
             return
         self.connected = False
         self.disconnects += 1
+        self._prune_stash()
         if self._m_flaps is not None:
             self._m_flaps.labels(self.name or "channel", "disconnect").inc()
         # A new connection starts with empty socket buffers: the old

@@ -86,6 +86,7 @@ class Telemetry:
         max_flow_records: int = 10_000,
         max_label_sets: int = 1024,
         profile: bool = True,
+        trace_id_base: int = 0,
     ) -> None:
         self.enabled = enabled
         if enabled:
@@ -94,7 +95,8 @@ class Telemetry:
             )
             self.tracer: Tracer = (
                 Tracer(sample_every=trace_sample_every,
-                       max_traces=max_traces, max_spans=max_spans)
+                       max_traces=max_traces, max_spans=max_spans,
+                       id_base=trace_id_base)
                 if trace else NULL_TRACER
             )
             if self.tracer.enabled:

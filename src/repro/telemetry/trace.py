@@ -20,21 +20,43 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, Hashable, List, Optional, Tuple
 
-__all__ = ["Span", "Tracer", "NULL_TRACER", "NullTracer", "STAGES"]
+__all__ = ["Span", "Tracer", "NULL_TRACER", "NullTracer", "STAGES",
+           "EXTRA_STAGES", "ALL_STAGES"]
 
 #: Canonical stage names, in life-of-a-packet order.  Rendering sorts
 #: spans by time, but the stage tells you which layer emitted one.
 STAGES = ("host", "link", "dataplane", "channel", "controller", "app")
 
+#: Stages outside the single-packet lifecycle: ``shard`` marks boundary
+#: hops between shard kernels, ``fault`` marks injection roots, and
+#: ``cluster`` the east-west handover machinery.  Kept separate so the
+#: packet-lifecycle acceptance bar (a trace crossing every ``STAGES``
+#: entry) stays meaningful on a single-controller platform.
+EXTRA_STAGES = ("shard", "cluster", "fault")
+
+#: Every stage any layer may emit, in canonical render order.
+ALL_STAGES = STAGES + EXTRA_STAGES
+
 
 class Span:
-    """One timestamped step of a traced packet's journey."""
+    """One timestamped step of a traced packet's journey.
 
-    __slots__ = ("trace_id", "name", "stage", "start", "end", "attrs")
+    ``span_id`` is unique across the whole tracer (and, via the
+    tracer's ``id_base``, across every shard of a sharded run);
+    ``parent`` points at the causally preceding span of the same
+    trace, turning a trace from a flat timeline into a span *tree*
+    whose longest root-to-leaf chain is the critical path.
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent", "name", "stage",
+                 "start", "end", "attrs")
 
     def __init__(self, trace_id: int, name: str, stage: str,
-                 start: float, end: float, attrs: dict) -> None:
+                 start: float, end: float, attrs: dict,
+                 span_id: int = 0, parent: Optional[int] = None) -> None:
         self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent = parent
         self.name = name
         self.stage = stage
         self.start = start
@@ -47,6 +69,8 @@ class Span:
 
     def to_dict(self) -> dict:
         return {
+            "span_id": self.span_id,
+            "parent": self.parent,
             "name": self.name,
             "stage": self.stage,
             "start": self.start,
@@ -78,7 +102,8 @@ class Tracer:
 
     def __init__(self, sample_every: int = 1, max_traces: int = 256,
                  max_spans: int = 4096,
-                 clock: Optional[Callable[[], float]] = None) -> None:
+                 clock: Optional[Callable[[], float]] = None,
+                 id_base: int = 0) -> None:
         if sample_every < 1:
             raise ValueError(f"sample_every must be >= 1: {sample_every}")
         if max_spans < 1:
@@ -87,20 +112,35 @@ class Tracer:
         self.max_traces = max_traces
         self.max_spans = max_spans
         self.clock: Callable[[], float] = clock or (lambda: 0.0)
+        #: Offset for every id this tracer mints.  A sharded run gives
+        #: shard *k* the base ``k * SHARD_ID_STRIDE``, so trace and
+        #: span ids are globally unique and the engine can merge the
+        #: per-shard tracers into one artifact without renumbering.
+        self.id_base = id_base
         self._spans: Dict[int, List[Span]] = {}
         self._labels: Dict[int, str] = {}
         #: Trace ids in creation order — the ring's eviction order.
         self._order: Deque[int] = deque()
         self._span_total = 0
-        self._next_id = 1
+        self._next_id = id_base + 1
+        self._span_seq = id_base
         self._seen = 0
         self.dropped = 0
         self.dropped_spans = 0
+        #: Stash entries discarded because their connection scope
+        #: epoch-bumped before adoption (the PR-10 leak fix).
+        self.stash_pruned = 0
         #: Called with the number of spans evicted by the retention
         #: ring; :class:`~repro.telemetry.Telemetry` points this at a
         #: counter so drops are visible in the metrics plane.
         self.on_drop: Optional[Callable[[int], None]] = None
-        self._stash: Dict[Hashable, Deque[Tuple[int, float]]] = {}
+        #: Called with every recorded :class:`Span` (after append).
+        #: The flight recorder feeds its per-component rings from this;
+        #: hooks must be pure — no events, no RNG.
+        self.on_span: Optional[Callable[[Span], None]] = None
+        self._stash: Dict[
+            Hashable, Deque[Tuple[int, float, Hashable]]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Trace lifecycle
@@ -122,22 +162,66 @@ class Tracer:
 
     def record(self, trace_id: Optional[int], name: str, stage: str,
                start: Optional[float] = None, end: Optional[float] = None,
-               **attrs) -> None:
-        """Append a span; instantaneous unless ``start``/``end`` differ."""
+               parent: Optional[int] = None, **attrs) -> Optional[int]:
+        """Append a span; instantaneous unless ``start``/``end`` differ.
+
+        ``parent`` links the span under a previously recorded one (by
+        span id) to form the causal tree.  Returns the new span's id so
+        callers can thread it through as the next parent, or ``None``
+        when the trace is unsampled/evicted.
+        """
         if trace_id is None:
-            return
+            return None
         spans = self._spans.get(trace_id)
         if spans is None:
-            return
+            return None
         now = self.clock()
         if end is None:
             end = now
         if start is None:
             start = end
-        spans.append(Span(trace_id, name, stage, start, end, attrs))
+        self._span_seq += 1
+        span = Span(trace_id, name, stage, start, end, attrs,
+                    span_id=self._span_seq, parent=parent)
+        spans.append(span)
         self._span_total += 1
+        if self.on_span is not None:
+            self.on_span(span)
         if self._span_total > self.max_spans:
             self._evict(keep=trace_id)
+        return span.span_id
+
+    def end_span(self, trace_id: Optional[int], span_id: Optional[int],
+                 end: Optional[float] = None) -> None:
+        """Move a recorded span's end time forward (span-around-work)."""
+        if trace_id is None or span_id is None:
+            return
+        for span in reversed(self._spans.get(trace_id, ())):
+            if span.span_id == span_id:
+                span.end = self.clock() if end is None else end
+                return
+
+    def adopt_foreign(self, trace_id: Optional[int],
+                      label: str = "") -> bool:
+        """Register a trace id minted by *another* tracer.
+
+        Used by the sharded kernel when a traced frame crosses a
+        boundary link: the receiving shard's tracer starts recording
+        spans under the sender's globally unique id.  Bypasses the
+        sampler (the origin shard already made the sampling decision)
+        but still honours ``max_traces``.
+        """
+        if trace_id is None:
+            return False
+        if trace_id in self._spans:
+            return True
+        if len(self._spans) >= self.max_traces:
+            self.dropped += 1
+            return False
+        self._spans[trace_id] = []
+        self._labels[trace_id] = label
+        self._order.append(trace_id)
+        return True
 
     def _evict(self, keep: int) -> None:
         """Drop whole traces, oldest first, until back under the cap.
@@ -167,12 +251,22 @@ class Tracer:
     # ------------------------------------------------------------------
     # Cross-serialisation context propagation
     # ------------------------------------------------------------------
-    def stash(self, key: Hashable, trace_id: Optional[int]) -> None:
-        """Park a trace id before its packet is flattened to bytes."""
+    def stash(self, key: Hashable, trace_id: Optional[int],
+              scope: Hashable = None) -> None:
+        """Park a trace id before its packet is flattened to bytes.
+
+        ``scope`` names the connection the bytes ride (the control
+        channel object); :meth:`prune_scope` evicts every entry of a
+        scope when its connection epoch bumps, because frames
+        serialised into the old epoch are dropped on arrival and their
+        stashed ids would otherwise never be adopted — they used to
+        accumulate forever *and* could be mis-adopted by an identical
+        post-reconnect frame.
+        """
         if trace_id is None:
             return
         self._stash.setdefault(key, deque()).append(
-            (trace_id, self.clock())
+            (trace_id, self.clock(), scope)
         )
 
     def adopt(self, key: Hashable) -> Tuple[Optional[int], float]:
@@ -180,10 +274,40 @@ class Tracer:
         queue = self._stash.get(key)
         if not queue:
             return None, 0.0
-        entry = queue.popleft()
+        trace_id, stashed_at, _scope = queue.popleft()
         if not queue:
             del self._stash[key]
-        return entry
+        return trace_id, stashed_at
+
+    def prune_scope(self, scope: Hashable) -> int:
+        """Drop every stash entry parked under ``scope``.
+
+        Called by :class:`~repro.southbound.channel.ControlChannel` on
+        every connection epoch change; returns the number of entries
+        pruned (also accumulated in :attr:`stash_pruned`).
+        """
+        if scope is None:
+            return 0
+        pruned = 0
+        dead_keys = []
+        for key, queue in self._stash.items():
+            kept = deque(e for e in queue if e[2] is not scope)
+            removed = len(queue) - len(kept)
+            if removed:
+                pruned += removed
+                if kept:
+                    self._stash[key] = kept
+                else:
+                    dead_keys.append(key)
+        for key in dead_keys:
+            del self._stash[key]
+        self.stash_pruned += pruned
+        return pruned
+
+    @property
+    def stash_size(self) -> int:
+        """Entries currently parked (leak regression surface)."""
+        return sum(len(q) for q in self._stash.values())
 
     # ------------------------------------------------------------------
     # Introspection
@@ -201,7 +325,7 @@ class Tracer:
     def stages_of(self, trace_id: int) -> List[str]:
         """Distinct stages the trace crossed, in canonical order."""
         present = {s.stage for s in self._spans.get(trace_id, ())}
-        return [s for s in STAGES if s in present]
+        return [s for s in ALL_STAGES if s in present]
 
     @property
     def trace_count(self) -> int:
@@ -237,14 +361,23 @@ class NullTracer(Tracer):
         return None
 
     def record(self, trace_id, name, stage, start=None, end=None,
-               **attrs) -> None:
+               parent=None, **attrs) -> Optional[int]:
+        return None
+
+    def end_span(self, trace_id, span_id, end=None) -> None:
         pass
 
-    def stash(self, key, trace_id) -> None:
+    def adopt_foreign(self, trace_id, label="") -> bool:
+        return False
+
+    def stash(self, key, trace_id, scope=None) -> None:
         pass
 
     def adopt(self, key):
         return None, 0.0
+
+    def prune_scope(self, scope) -> int:
+        return 0
 
 
 NULL_TRACER = NullTracer()

@@ -1,0 +1,43 @@
+"""repro.trace — the causal trace plane.
+
+PR 1 gave every packet a flat span timeline; the scale planes broke it
+— a trace died at a shard boundary link, and a mastership handover left
+no record connecting bus death-detection to recovery.  This package
+restores the *why* behind every number the obs plane reports:
+
+* :class:`~repro.trace.artifact.TraceArtifact` — the serialised span
+  forest, mergeable across shard tracers (globally unique ids via
+  ``SHARD_ID_STRIDE``);
+* :func:`~repro.trace.critical.critical_path` — the longest causal
+  chain of a trace with per-stage latency attribution;
+* :class:`~repro.trace.flight.FlightRecorder` — bounded per-component
+  span rings dumped the instant an invariant violation or SLO alert
+  fires;
+* :mod:`~repro.trace.render` — ASCII span trees and critical-path
+  tables for the CLI and CI logs.
+
+Everything here is a pure observer: no kernel events, no RNG, so a
+seeded run is bit-identical with the trace plane on or off (the
+telemetry doctrine, enforced by differential tests and gated as E18).
+"""
+
+from repro.trace.artifact import (
+    FORMAT,
+    SHARD_ID_STRIDE,
+    TraceArtifact,
+    shard_of_id,
+)
+from repro.trace.critical import critical_path
+from repro.trace.flight import FlightRecorder
+from repro.trace.render import render_critical_path, render_tree
+
+__all__ = [
+    "FORMAT",
+    "FlightRecorder",
+    "SHARD_ID_STRIDE",
+    "TraceArtifact",
+    "critical_path",
+    "render_critical_path",
+    "render_tree",
+    "shard_of_id",
+]

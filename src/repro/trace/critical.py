@@ -1,0 +1,109 @@
+"""Critical-path extraction over one trace's span tree.
+
+The critical path of a trace is the causal chain that determined when
+the trace *finished*: start from the span with the latest end time,
+walk parent links back to a root, and prepend the flat (un-parented)
+prefix — the host/link/dataplane spans recorded before the controller
+started threading parents — in time order, which for a single packet's
+journey is causal order.
+
+Each stage on the path is attributed ``elapsed = end - previous stage's
+end``: the time the trace spent *waiting for and executing* that stage.
+Elapsed sums telescope to the whole path duration, so per-stage
+attribution answers "where did the latency go" exactly — the POX/
+Floodlight controller-study methodology, applied to our own stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["critical_path"]
+
+
+def _as_span_dicts(trace) -> List[dict]:
+    spans = trace["spans"] if isinstance(trace, dict) else trace
+    out = []
+    for span in spans:
+        if isinstance(span, dict):
+            out.append(span)
+        else:  # a telemetry Span object
+            out.append(span.to_dict())
+    return out
+
+
+def critical_path(trace) -> dict:
+    """Compute the critical path of one trace.
+
+    ``trace`` is a ``{"id", "label", "spans"}`` dict (artifact form) or
+    a bare span list; spans may be dicts or
+    :class:`~repro.telemetry.trace.Span` objects.
+
+    Returns ``{"trace_id", "label", "total", "stages", "by_stage"}``
+    where ``stages`` is the ordered chain (each with ``name``,
+    ``stage``, ``start``, ``end``, ``elapsed``, ``self``) and
+    ``by_stage`` aggregates elapsed per stage name.
+    """
+    spans = _as_span_dicts(trace)
+    trace_id = trace.get("id") if isinstance(trace, dict) else None
+    label = trace.get("label", "") if isinstance(trace, dict) else ""
+    if not spans:
+        return {"trace_id": trace_id, "label": label, "total": 0.0,
+                "stages": [], "by_stage": {}}
+
+    by_id: Dict[int, dict] = {}
+    for span in spans:
+        sid = span.get("span_id", 0)
+        if sid:
+            by_id[sid] = span
+
+    # Terminal span: latest end; ties break on span id so the pick is
+    # deterministic and favours the most recently recorded span.
+    leaf = max(spans, key=lambda s: (s["end"], s.get("span_id", 0)))
+
+    # Walk parent links to the chain's root (cycle-guarded).
+    chain: List[dict] = [leaf]
+    seen = {leaf.get("span_id", 0)}
+    while True:
+        parent: Optional[int] = chain[-1].get("parent")
+        if parent is None or parent not in by_id or parent in seen:
+            break
+        seen.add(parent)
+        chain.append(by_id[parent])
+    chain.reverse()
+
+    # Stitch the flat prefix: spans recorded before parent-threading
+    # began (host TX, link transit, table lookups) causally precede the
+    # chain root when they end by its start.  Time order == causal
+    # order for the single-packet prefix.
+    root_start = chain[0]["start"]
+    chain_ids = {id(s) for s in chain}
+    prefix = sorted(
+        (s for s in spans
+         if id(s) not in chain_ids
+         and s.get("parent") is None
+         and s["end"] <= root_start),
+        key=lambda s: (s["start"], s["end"], s.get("span_id", 0)),
+    )
+    chain = prefix + chain
+
+    stages = []
+    by_stage: Dict[str, float] = {}
+    prev_end = chain[0]["start"]
+    for span in chain:
+        elapsed = max(0.0, span["end"] - prev_end)
+        stages.append({
+            "name": span["name"],
+            "stage": span.get("stage", ""),
+            "span_id": span.get("span_id", 0),
+            "start": span["start"],
+            "end": span["end"],
+            "elapsed": elapsed,
+            "self": span["end"] - span["start"],
+        })
+        key = span.get("stage", "") or span["name"]
+        by_stage[key] = by_stage.get(key, 0.0) + elapsed
+        prev_end = max(prev_end, span["end"])
+    total = chain[-1]["end"] - chain[0]["start"]
+    return {"trace_id": trace_id, "label": label, "total": total,
+            "stages": stages, "by_stage": by_stage}
